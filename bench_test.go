@@ -1,0 +1,215 @@
+package petscfun3d
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation, driving the same generators as cmd/benchtables at the
+// smoke-test scale (run the binary with -size medium for the scale
+// recorded in EXPERIMENTS.md). Kernel-level companions measure the
+// specific effects (layout, blocking, precision) with real wall time.
+
+import (
+	"testing"
+
+	"petscfun3d/internal/experiments"
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/sparse"
+)
+
+func BenchmarkTable1LayoutSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(experiments.Small, "incompressible"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PrecisionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ScalingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4SchwarzSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5HybridSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2MachineSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3MissCounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4PartitionerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5CFLSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMissModelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MissModel(experiments.Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel-level companions: the individual effects, in real time. ---
+
+func benchMatrix(b *testing.B, blockSize int) (*sparse.BCSR, sparse.Graph) {
+	b.Helper()
+	m, err := mesh.GenerateWingN(12000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m = m.Renumber(mesh.RCM(m))
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, blockSize)
+	a.FillDeterministic(42)
+	return a, g
+}
+
+// Table 1 mechanism: SpMV under the four layout/blocking combinations.
+func BenchmarkSpMVInterlacedBlocked(b *testing.B) {
+	a, _ := benchMatrix(b, 4)
+	x := make([]float64, a.N())
+	y := make([]float64, a.N())
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(a.NNZ()*8 + a.NNZBlocks()*4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x, y)
+	}
+}
+
+func BenchmarkSpMVInterlacedScalar(b *testing.B) {
+	a, _ := benchMatrix(b, 4)
+	c := a.ToCSR()
+	x := make([]float64, c.N)
+	y := make([]float64, c.N)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(c.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVec(x, y)
+	}
+}
+
+func BenchmarkSpMVNonInterlacedScalar(b *testing.B) {
+	a, g := benchMatrix(b, 4)
+	c := sparse.Permute(a.ToCSR(), sparse.LayoutPerm(g.NV, 4, sparse.NonInterlaced))
+	x := make([]float64, c.N)
+	y := make([]float64, c.N)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(c.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVec(x, y)
+	}
+}
+
+// Table 2 mechanism: triangular solve with double vs single factors.
+func BenchmarkTriangularSolveDouble(b *testing.B) {
+	a, _ := benchMatrix(b, 4)
+	f, err := ilu.Factor(a, ilu.Options{Level: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.N())
+	y := make([]float64, a.N())
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(f.SolveBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(x, y)
+	}
+}
+
+func BenchmarkTriangularSolveSingle(b *testing.B) {
+	a, _ := benchMatrix(b, 4)
+	f, err := ilu.Factor(a, ilu.Options{Level: 1, SinglePrecision: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.N())
+	y := make([]float64, a.N())
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(f.SolveBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(x, y)
+	}
+}
+
+// Figure 3 mechanism: the flux loop under sorted vs colored edges.
+func benchFlux(b *testing.B, ordering string) {
+	cfg := DefaultConfig()
+	// Large enough that the vertex arrays exceed the last-level cache;
+	// at small sizes modern caches hide the colored ordering's damage.
+	cfg.TargetVertices = 400000
+	cfg.EdgeOrdering = ordering
+	p, err := Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := p.Disc.FreestreamVector()
+	r := make([]float64, p.Disc.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Disc.Residual(q, r)
+	}
+}
+
+func BenchmarkFluxSortedEdges(b *testing.B)  { benchFlux(b, "sorted") }
+func BenchmarkFluxColoredEdges(b *testing.B) { benchFlux(b, "colored") }

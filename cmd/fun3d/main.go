@@ -1,0 +1,121 @@
+// Command fun3d solves a steady Euler flow over the synthetic wing mesh
+// with the ψNKS solver — the repo's equivalent of running PETSc-FUN3D.
+// It prints the convergence history and, for parallel runs, the virtual
+// machine's modeled execution profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"petscfun3d/internal/core"
+	"petscfun3d/internal/newton"
+	"petscfun3d/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fun3d: ")
+	var cfg = core.DefaultConfig()
+	vertices := flag.Int("vertices", 22677, "target mesh vertex count")
+	meshFile := flag.String("mesh", "", "read the mesh from this file instead of generating one")
+	writeMesh := flag.String("write-mesh", "", "write the (possibly renumbered) mesh to this file and continue")
+	system := flag.String("system", "incompressible", "incompressible|compressible")
+	order := flag.Int("order", 1, "flux discretization order (1 or 2)")
+	viscosity := flag.Float64("viscosity", 0, "Galerkin momentum diffusion coefficient (0 = Euler)")
+	switchAt := flag.Float64("switch-order-at", 0, "residual reduction at which to switch 1st->2nd order (0=off)")
+	cfl0 := flag.Float64("cfl0", 10, "initial CFL number")
+	serP := flag.Float64("ser-exponent", 1.0, "SER power-law exponent")
+	reltol := flag.Float64("reltol", 1e-8, "residual reduction target")
+	maxSteps := flag.Int("max-steps", 100, "maximum pseudo-timesteps")
+	restart := flag.Int("gmres-restart", 20, "GMRES restart dimension")
+	maxIts := flag.Int("gmres-maxits", 40, "GMRES iteration cap per Newton step")
+	ktol := flag.Float64("gmres-rtol", 1e-2, "GMRES relative tolerance")
+	fill := flag.Int("ilu-fill", 0, "ILU fill level k")
+	overlap := flag.Int("overlap", 0, "Schwarz subdomain overlap")
+	single := flag.Bool("single-precision-pc", false, "store preconditioner factors in float32")
+	ranks := flag.Int("ranks", 1, "virtual ranks (1 = sequential with real wall time)")
+	partitioner := flag.String("partitioner", "kway", "kway|pway")
+	profile := flag.String("profile", "ASCI Red", "machine profile for parallel cost model")
+	edgeOrdering := flag.String("edge-ordering", "sorted", "sorted|colored flux loop order")
+	rcm := flag.Bool("rcm", true, "renumber vertices with Reverse Cuthill-McKee")
+	flag.Parse()
+
+	cfg.TargetVertices = *vertices
+	cfg.MeshFile = *meshFile
+	cfg.System = *system
+	cfg.Order = *order
+	cfg.Viscosity = *viscosity
+	cfg.SwitchOrderAt = *switchAt
+	cfg.Newton.CFL0 = *cfl0
+	cfg.Newton.SERExponent = *serP
+	cfg.Newton.RelTol = *reltol
+	cfg.Newton.MaxSteps = *maxSteps
+	cfg.Newton.Krylov.Restart = *restart
+	cfg.Newton.Krylov.MaxIters = *maxIts
+	cfg.Newton.Krylov.RelTol = *ktol
+	cfg.FillLevel = *fill
+	cfg.Overlap = *overlap
+	cfg.SinglePrecision = *single
+	cfg.Ranks = *ranks
+	cfg.Partitioner = *partitioner
+	cfg.EdgeOrdering = *edgeOrdering
+	cfg.RCM = *rcm
+	prof, err := perfmodel.ProfileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Profile = prof
+
+	if *writeMesh != "" {
+		p, err := core.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*writeMesh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Mesh.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-vertex mesh to %s\n", p.Mesh.NumVertices(), *writeMesh)
+	}
+	if cfg.Ranks > 1 {
+		out, err := core.RunParallel(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printHistory(out.Newton.Steps)
+		fmt.Printf("\nconverged=%v  residual %.3e -> %.3e  linear its %d\n",
+			out.Newton.Converged, out.Newton.InitialRnorm, out.Newton.FinalRnorm, out.Newton.TotalLinearIts)
+		rep := out.Report
+		fmt.Printf("modeled on %d ranks of %s: %.2fs elapsed, %.2f Gflop/s aggregate\n",
+			rep.Ranks, prof.Name, rep.Elapsed, rep.Gflops)
+		fmt.Printf("  phase mix: %.1f%% reductions, %.1f%% implicit sync, %.1f%% scatters\n",
+			rep.PctReduce, rep.PctWait, rep.PctScatter)
+		fmt.Printf("  halo volume per exchange: %.2f MB total\n", float64(out.HaloBytesPerExchange)/1e6)
+		return
+	}
+	out, err := core.RunSequential(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printHistory(out.Newton.Steps)
+	fmt.Printf("\nconverged=%v  residual %.3e -> %.3e  linear its %d\n",
+		out.Newton.Converged, out.Newton.InitialRnorm, out.Newton.FinalRnorm, out.Newton.TotalLinearIts)
+	fmt.Printf("wall time %v (%v per pseudo-timestep), %d vertices\n",
+		out.WallTime.Round(1e6), out.PerStep.Round(1e6), out.Problem.Mesh.NumVertices())
+}
+
+func printHistory(steps []newton.Step) {
+	fmt.Printf("%6s %14s %12s %8s %6s\n", "step", "residual", "CFL", "lin its", "order")
+	for _, st := range steps {
+		fmt.Printf("%6d %14.6e %12.1f %8d %6d\n", st.Index, st.Rnorm, st.CFL, st.LinearIts, st.Order)
+	}
+}

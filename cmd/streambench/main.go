@@ -1,0 +1,29 @@
+// Command streambench runs McCalpin's STREAM kernels on the host and
+// prints the sustainable memory bandwidth — the calibration input of the
+// paper's bandwidth-limited performance model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"petscfun3d/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambench: ")
+	n := flag.Int("n", 4<<20, "elements per array (doubles)")
+	trials := flag.Int("trials", 10, "trials per kernel (best is reported)")
+	flag.Parse()
+	fmt.Printf("STREAM: 3 arrays of %d doubles (%.1f MB each), best of %d trials\n",
+		*n, float64(*n)*8/1e6, *trials)
+	results, err := stream.Run(*n, *trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+}

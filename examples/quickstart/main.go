@@ -1,0 +1,31 @@
+// Quickstart: solve a steady incompressible Euler flow over the
+// synthetic wing mesh and print the convergence history — the minimal
+// use of the petscfun3d public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	petscfun3d "petscfun3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := petscfun3d.DefaultConfig()
+	cfg.TargetVertices = 5000
+	cfg.Newton.RelTol = 1e-8
+
+	res, err := petscfun3d.Solve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d vertices, %d edges\n",
+		res.Problem.Mesh.NumVertices(), res.Problem.Mesh.NumEdges())
+	fmt.Printf("%6s %14s %12s %8s\n", "step", "residual", "CFL", "lin its")
+	for _, st := range res.Newton.Steps {
+		fmt.Printf("%6d %14.6e %12.1f %8d\n", st.Index, st.Rnorm, st.CFL, st.LinearIts)
+	}
+	fmt.Printf("\nconverged=%v in %v (%v per pseudo-timestep)\n",
+		res.Newton.Converged, res.WallTime.Round(1e6), res.PerStep.Round(1e6))
+}

@@ -1,0 +1,58 @@
+// Scaling study: a fixed-size mesh solved on growing virtual rank
+// counts, reporting the paper's Table 3 efficiency decomposition
+// η_overall = η_alg · η_impl. Real iteration counts drive the
+// algorithmic factor; the virtual machine's wait/scatter/reduce
+// accounting drives the implementation factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	petscfun3d "petscfun3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	ranksList := []int{4, 8, 16, 32, 64}
+	type row struct {
+		ranks   int
+		its     int
+		seconds float64
+		pctSync float64
+		pctScat float64
+	}
+	var rows []row
+	for _, ranks := range ranksList {
+		cfg := petscfun3d.DefaultConfig()
+		cfg.TargetVertices = 10000
+		cfg.Ranks = ranks
+		cfg.FillLevel = 1
+		cfg.Profile = petscfun3d.ASCIRed
+		cfg.Newton.RelTol = 1e-6
+		out, err := petscfun3d.SolveParallel(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !out.Newton.Converged {
+			log.Fatalf("ranks=%d: did not converge", ranks)
+		}
+		rows = append(rows, row{
+			ranks:   ranks,
+			its:     out.Newton.TotalLinearIts,
+			seconds: out.Report.Elapsed,
+			pctSync: out.Report.PctWait,
+			pctScat: out.Report.PctScatter,
+		})
+	}
+	base := rows[0]
+	fmt.Printf("%6s %6s %9s %8s | %9s %7s %7s | %7s %8s\n",
+		"ranks", "its", "time", "speedup", "η_overall", "η_alg", "η_impl", "%sync", "%scatter")
+	for _, r := range rows {
+		speedup := base.seconds / r.seconds
+		overall := speedup / (float64(r.ranks) / float64(base.ranks))
+		alg := float64(base.its) / float64(r.its)
+		fmt.Printf("%6d %6d %8.2fs %8.2f | %9.2f %7.2f %7.2f | %7.1f %8.1f\n",
+			r.ranks, r.its, r.seconds, speedup, overall, alg, overall/alg, r.pctSync, r.pctScat)
+	}
+}

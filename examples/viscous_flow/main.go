@@ -1,0 +1,50 @@
+// Viscous flow: the solver with Galerkin-type momentum diffusion (the
+// laminar Navier-Stokes mode). Sweeps the viscosity coefficient and
+// reports the steady state's velocity-gradient energy Σ w_ij |Δu_ij|²,
+// which diffusion monotonically damps — and that the ψNKS solver
+// converges robustly throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	petscfun3d "petscfun3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, mu := range []float64{0, 0.005, 0.02, 0.08} {
+		cfg := petscfun3d.DefaultConfig()
+		cfg.TargetVertices = 4000
+		cfg.Viscosity = mu
+		cfg.Newton.RelTol = 1e-7
+		cfg.Newton.MaxSteps = 80
+		res, err := petscfun3d.Solve(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Newton.Converged {
+			log.Fatalf("mu=%g: did not converge", mu)
+		}
+		// Velocity-gradient energy of the steady state: sum over mesh
+		// edges of |Δu|²/|Δx|², a discrete measure diffusion damps.
+		b := res.Problem.Sys.B()
+		m := res.Problem.Mesh
+		var energy float64
+		for _, e := range m.Edges {
+			dx := m.Coords[e.B].X - m.Coords[e.A].X
+			dy := m.Coords[e.B].Y - m.Coords[e.A].Y
+			dz := m.Coords[e.B].Z - m.Coords[e.A].Z
+			dist2 := dx*dx + dy*dy + dz*dz
+			for c := 1; c <= 3; c++ {
+				du := res.FinalQ[int(e.B)*b+c] - res.FinalQ[int(e.A)*b+c]
+				energy += du * du / dist2
+			}
+		}
+		fmt.Printf("mu=%6.3f: %2d steps, %3d linear its, gradient energy %.1f\n",
+			mu, len(res.Newton.Steps), res.Newton.TotalLinearIts, energy)
+	}
+	fmt.Println("\nDiffusion damps the velocity gradients; the inviscid (mu=0) flow")
+	fmt.Println("has the sharpest acceleration around the wing taper.")
+}

@@ -1,0 +1,3 @@
+module petscfun3d
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package core is the PETSc-FUN3D facade: it assembles the mesh,
+// discretization, partitioner, Schwarz-preconditioned ψNKS solver, and —
+// for parallel studies — the virtual machine cost model, behind a single
+// Config. The benchmark harness (cmd/benchtables) and the examples drive
+// everything through this package.
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"petscfun3d/internal/euler"
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/krylov"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/newton"
+	"petscfun3d/internal/partition"
+	"petscfun3d/internal/perfmodel"
+	"petscfun3d/internal/schwarz"
+	"petscfun3d/internal/sparse"
+)
+
+// Config selects a complete solver setup. Zero values get defaults from
+// DefaultConfig.
+type Config struct {
+	// Mesh: a mesh file (see mesh.Read) when MeshFile is set; otherwise
+	// explicit lattice dimensions, or a target vertex count when NX==0.
+	MeshFile       string
+	NX, NY, NZ     int
+	TargetVertices int
+
+	// System is "incompressible" (4 unknowns/vertex) or "compressible"
+	// (5 unknowns/vertex).
+	System string
+
+	// Order is the flux discretization order (1 or 2); SwitchOrderAt>0
+	// runs first-order until that residual reduction, then second.
+	Order         int
+	Limit         bool
+	SwitchOrderAt float64
+	// Viscosity adds Galerkin-type momentum diffusion (laminar
+	// Navier-Stokes); 0 solves the Euler equations.
+	Viscosity float64
+
+	// RCM renumbers vertices by Reverse Cuthill-McKee (the paper's
+	// locality ordering); EdgeOrdering is "sorted" or "colored".
+	RCM          bool
+	EdgeOrdering string
+
+	// Newton configures the pseudo-transient Newton-Krylov driver.
+	Newton newton.Options
+
+	// Schwarz preconditioner: subdomain overlap, ILU fill level, and
+	// single-precision factor storage.
+	Overlap         int
+	FillLevel       int
+	SinglePrecision bool
+
+	// Parallel setup: rank count, partitioner ("kway" or "pway"), and
+	// the machine profile for the cost model. The Newton options carry
+	// the remaining algorithmic switches (assembled vs matrix-free
+	// operator, orthogonalization, SER law, ...).
+	Ranks       int
+	Partitioner string
+	Profile     perfmodel.Profile
+}
+
+// DefaultConfig returns a small incompressible problem on one rank.
+func DefaultConfig() Config {
+	return Config{
+		TargetVertices: 2000,
+		System:         "incompressible",
+		Order:          1,
+		RCM:            true,
+		EdgeOrdering:   "sorted",
+		Newton:         newton.DefaultOptions(),
+		Overlap:        0,
+		FillLevel:      0,
+		Ranks:          1,
+		Partitioner:    "kway",
+		Profile:        perfmodel.ASCIRed,
+	}
+}
+
+// Problem holds everything Build assembles from a Config.
+type Problem struct {
+	Cfg   Config
+	Mesh  *mesh.Mesh
+	Sys   euler.System
+	Graph sparse.Graph
+	Disc  *euler.Discretization // active-order discretization
+	Disc2 *euler.Discretization // second-order (when continuation is on)
+	Part  *partition.Partition
+	Halos []partition.Halo
+}
+
+// Build assembles a problem.
+func Build(cfg Config) (*Problem, error) {
+	var m *mesh.Mesh
+	var err error
+	switch {
+	case cfg.MeshFile != "":
+		f, ferr := os.Open(cfg.MeshFile)
+		if ferr != nil {
+			return nil, fmt.Errorf("core: %w", ferr)
+		}
+		m, err = mesh.Read(f)
+		f.Close()
+	case cfg.NX > 0:
+		m, err = mesh.GenerateWing(mesh.DefaultWingSpec(cfg.NX, cfg.NY, cfg.NZ))
+	default:
+		m, err = mesh.GenerateWingN(cfg.TargetVertices)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RCM {
+		m = m.Renumber(mesh.RCM(m))
+	}
+	var sys euler.System
+	switch cfg.System {
+	case "", "incompressible":
+		sys = euler.NewIncompressible()
+	case "compressible":
+		sys = euler.NewCompressible()
+	default:
+		return nil, fmt.Errorf("core: unknown system %q", cfg.System)
+	}
+	p := &Problem{Cfg: cfg, Mesh: m, Sys: sys}
+	p.Graph = sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+
+	order := cfg.Order
+	if order == 0 {
+		order = 1
+	}
+	baseOrder := order
+	if cfg.SwitchOrderAt > 0 {
+		baseOrder = 1
+	}
+	p.Disc, err = euler.NewDiscretization(m, nil, sys, euler.Options{
+		Order: baseOrder, EdgeOrdering: cfg.EdgeOrdering, Limit: cfg.Limit && baseOrder == 2,
+		Viscosity: cfg.Viscosity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SwitchOrderAt > 0 {
+		p.Disc2, err = euler.NewDiscretization(m, p.Disc.Geo, sys, euler.Options{
+			Order: 2, EdgeOrdering: cfg.EdgeOrdering, Limit: cfg.Limit,
+			Viscosity: cfg.Viscosity,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Ranks > 1 {
+		switch cfg.Partitioner {
+		case "", "kway":
+			p.Part, err = partition.KWay(p.Graph, cfg.Ranks)
+		case "pway":
+			p.Part, err = partition.PWay(p.Graph, cfg.Ranks)
+		default:
+			return nil, fmt.Errorf("core: unknown partitioner %q", cfg.Partitioner)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Halos = partition.BuildHalos(p.Graph, p.Part)
+	} else {
+		p.Part = &partition.Partition{NParts: 1, Part: make([]int32, m.NumVertices())}
+		p.Halos = partition.BuildHalos(p.Graph, p.Part)
+	}
+	return p, nil
+}
+
+// PCFactory returns the Schwarz preconditioner factory for the problem's
+// partition and Config, remembering the last-built preconditioner so the
+// parallel cost model can read per-subdomain work.
+func (p *Problem) PCFactory(last **schwarz.Preconditioner) newton.PCFactory {
+	return func(a *sparse.BCSR) (krylov.Preconditioner, error) {
+		pc, err := schwarz.New(a, p.Part.Part, p.Part.NParts, schwarz.Options{
+			Overlap: p.Cfg.Overlap,
+			ILU:     ilu.Options{Level: p.Cfg.FillLevel, SinglePrecision: p.Cfg.SinglePrecision},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if last != nil {
+			*last = pc
+		}
+		return pc, nil
+	}
+}

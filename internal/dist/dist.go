@@ -1,0 +1,264 @@
+// Package dist implements a genuinely distributed sparse solver on the
+// goroutine message-passing runtime (internal/mpi): partitioned block
+// matrices with ghost-column halos, distributed vector operations with
+// global reductions, and a distributed right-preconditioned GMRES with
+// block Jacobi ILU(k) subdomain solves. It executes the same
+// decomposed algorithm that internal/core models on the virtual
+// machine, and the tests validate it against the sequential solver —
+// closing the loop on the "MPI substrate" substitution.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/sparse"
+)
+
+// Matrix is one rank's share of a partitioned BCSR matrix: the owned
+// block rows, with column indices renumbered into local-extended space
+// (owned rows first in ascending global order, then ghosts in ascending
+// global order).
+type Matrix struct {
+	Comm *mpi.Comm
+	B    int
+
+	Owned  []int32 // ascending global block rows owned by this rank
+	Ghosts []int32 // ascending global block rows read but not owned
+
+	local *sparse.BCSR // NB = len(Owned), cols in extended numbering
+
+	// Halo exchange plan.
+	sendTo   map[int]([]int32) // peer -> local owned indices to send
+	recvFrom map[int]([]int32) // peer -> extended-local ghost indices to fill
+	peers    []int             // sorted peer ranks
+
+	// Diagonal block (owned x owned) for the block Jacobi factorization.
+	diag *sparse.BCSR
+}
+
+// NewMatrix extracts rank c.Rank()'s share of the global matrix a under
+// the block-row partition part (len a.NB). Every rank calls it with the
+// same a and part (SPMD); the halo plan is negotiated over the
+// communicator.
+func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
+	if len(part) != a.NB {
+		return nil, fmt.Errorf("dist: partition length %d for %d block rows", len(part), a.NB)
+	}
+	me := int32(c.Rank())
+	// Validate every rank's ownership locally (the partition is SPMD
+	// data), so all ranks reject a bad partition before any
+	// communication — a rank erroring mid-handshake would deadlock its
+	// peers.
+	counts := make([]int, c.Size())
+	for i, q := range part {
+		if q < 0 || int(q) >= c.Size() {
+			return nil, fmt.Errorf("dist: row %d assigned to invalid rank %d", i, q)
+		}
+		counts[q]++
+	}
+	for q, n := range counts {
+		if n == 0 {
+			return nil, fmt.Errorf("dist: rank %d owns no rows", q)
+		}
+	}
+	m := &Matrix{Comm: c, B: a.B}
+	for i := int32(0); i < int32(a.NB); i++ {
+		if part[i] == me {
+			m.Owned = append(m.Owned, i)
+		}
+	}
+	ghostSet := map[int32]bool{}
+	for _, gr := range m.Owned {
+		for _, j := range a.ColIdx[a.RowPtr[gr]:a.RowPtr[gr+1]] {
+			if part[j] != me {
+				ghostSet[j] = true
+			}
+		}
+	}
+	for g := range ghostSet {
+		m.Ghosts = append(m.Ghosts, g)
+	}
+	sort.Slice(m.Ghosts, func(i, j int) bool { return m.Ghosts[i] < m.Ghosts[j] })
+
+	// Extended-local numbering.
+	ext := make(map[int32]int32, len(m.Owned)+len(m.Ghosts))
+	for li, gr := range m.Owned {
+		ext[gr] = int32(li)
+	}
+	for li, gr := range m.Ghosts {
+		ext[gr] = int32(len(m.Owned) + li)
+	}
+	// Local rows (owned rows, all columns) and the diagonal block
+	// (owned columns only).
+	rows := make([][]int32, len(m.Owned))
+	diagRows := make([][]int32, len(m.Owned))
+	for li, gr := range m.Owned {
+		for _, j := range a.ColIdx[a.RowPtr[gr]:a.RowPtr[gr+1]] {
+			rows[li] = append(rows[li], ext[j])
+			if part[j] == me {
+				diagRows[li] = append(diagRows[li], ext[j])
+			}
+		}
+	}
+	m.local = sparse.NewBCSRPattern(len(m.Owned), a.B, rows)
+	m.diag = sparse.NewBCSRPattern(len(m.Owned), a.B, diagRows)
+	bb := a.B * a.B
+	for li, gr := range m.Owned {
+		for k := a.RowPtr[gr]; k < a.RowPtr[gr+1]; k++ {
+			j := a.ColIdx[k]
+			src := a.Val[int(k)*bb : (int(k)+1)*bb]
+			dst, ok := m.local.BlockAt(li, int(ext[j]))
+			if !ok {
+				return nil, fmt.Errorf("dist: lost local block")
+			}
+			copy(dst, src)
+			if part[j] == me {
+				d, ok := m.diag.BlockAt(li, int(ext[j]))
+				if !ok {
+					return nil, fmt.Errorf("dist: lost diagonal block")
+				}
+				copy(d, src)
+			}
+		}
+	}
+	// Halo negotiation: send each rank the list of its rows we need.
+	needFrom := map[int][]int32{}
+	for _, g := range m.Ghosts {
+		needFrom[int(part[g])] = append(needFrom[int(part[g])], g)
+	}
+	m.sendTo = map[int][]int32{}
+	m.recvFrom = map[int][]int32{}
+	for q := 0; q < c.Size(); q++ {
+		if q == c.Rank() {
+			continue
+		}
+		req := needFrom[q]
+		enc := make([]float64, len(req))
+		for i, g := range req {
+			enc[i] = float64(g)
+		}
+		c.Send(q, tagPlan, enc)
+		if len(req) > 0 {
+			locs := make([]int32, len(req))
+			for i, g := range req {
+				locs[i] = ext[g]
+			}
+			m.recvFrom[q] = locs
+		}
+	}
+	for q := 0; q < c.Size(); q++ {
+		if q == c.Rank() {
+			continue
+		}
+		enc, err := c.Recv(q, tagPlan)
+		if err != nil {
+			return nil, err
+		}
+		if len(enc) == 0 {
+			continue
+		}
+		locs := make([]int32, len(enc))
+		for i, f := range enc {
+			gr := int32(f)
+			li, ok := ext[gr]
+			if !ok || int(li) >= len(m.Owned) {
+				return nil, fmt.Errorf("dist: rank %d asked rank %d for row %d it does not own", q, me, gr)
+			}
+			locs[i] = li
+		}
+		m.sendTo[q] = locs
+	}
+	peerSet := map[int]bool{}
+	for q := range m.sendTo {
+		peerSet[q] = true
+	}
+	for q := range m.recvFrom {
+		peerSet[q] = true
+	}
+	for q := range peerSet {
+		m.peers = append(m.peers, q)
+	}
+	sort.Ints(m.peers)
+	return m, nil
+}
+
+const (
+	tagPlan = iota + 1
+	tagHalo
+)
+
+// LocalN returns the number of owned scalar unknowns.
+func (m *Matrix) LocalN() int { return len(m.Owned) * m.B }
+
+// Scatter fills the ghost region of the extended vector xExt (length
+// LocalN()+len(Ghosts)*B) from the owning ranks; the owned prefix must
+// already hold this rank's values.
+func (m *Matrix) Scatter(xExt []float64) error {
+	b := m.B
+	for _, q := range m.peers {
+		locs := m.sendTo[q]
+		if len(locs) == 0 {
+			continue
+		}
+		buf := make([]float64, len(locs)*b)
+		for i, li := range locs {
+			copy(buf[i*b:(i+1)*b], xExt[int(li)*b:int(li)*b+b])
+		}
+		m.Comm.Send(q, tagHalo, buf)
+	}
+	for _, q := range m.peers {
+		locs := m.recvFrom[q]
+		if len(locs) == 0 {
+			continue
+		}
+		buf, err := m.Comm.Recv(q, tagHalo)
+		if err != nil {
+			return err
+		}
+		if len(buf) != len(locs)*b {
+			return fmt.Errorf("dist: halo from %d has %d values, want %d", q, len(buf), len(locs)*b)
+		}
+		for i, li := range locs {
+			copy(xExt[int(li)*b:int(li)*b+b], buf[i*b:(i+1)*b])
+		}
+	}
+	return nil
+}
+
+// MulVec computes the owned part of y = A x, where x and y are local
+// owned vectors (length LocalN()); one halo exchange per call.
+func (m *Matrix) MulVec(x, y []float64) error {
+	ext := make([]float64, (len(m.Owned)+len(m.Ghosts))*m.B)
+	copy(ext, x[:m.LocalN()])
+	if err := m.Scatter(ext); err != nil {
+		return err
+	}
+	m.local.MulVec(ext, y)
+	return nil
+}
+
+// Dot returns the global inner product of two distributed vectors.
+func (m *Matrix) Dot(x, y []float64) float64 {
+	var s float64
+	for i := 0; i < m.LocalN(); i++ {
+		s += x[i] * y[i]
+	}
+	return m.Comm.AllReduceSum(s)
+}
+
+// Norm2 returns the global Euclidean norm.
+func (m *Matrix) Norm2(x []float64) float64 { return math.Sqrt(m.Dot(x, x)) }
+
+// BlockJacobi factors this rank's diagonal block with ILU(k) and
+// returns the local preconditioner solve.
+func (m *Matrix) BlockJacobi(opts ilu.Options) (func(r, z []float64), error) {
+	f, err := ilu.Factor(m.diag, opts)
+	if err != nil {
+		return nil, err
+	}
+	return func(r, z []float64) { f.Solve(r, z) }, nil
+}

@@ -1,0 +1,254 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/krylov"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/partition"
+	"petscfun3d/internal/schwarz"
+	"petscfun3d/internal/sparse"
+)
+
+type testProblem struct {
+	a    *sparse.BCSR
+	g    sparse.Graph
+	part *partition.Partition
+	rhs  []float64
+}
+
+func buildTestProblem(t testing.TB, nx, ny, nz, b, nparts int) *testProblem {
+	t.Helper()
+	m, err := mesh.GenerateWing(mesh.DefaultWingSpec(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, b)
+	a.FillDeterministic(101)
+	p, err := partition.KWay(g, nparts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.19)
+	}
+	return &testProblem{a: a, g: g, part: p, rhs: rhs}
+}
+
+// gather assembles per-rank owned vectors into a global vector.
+type gatherBoard struct {
+	mu   sync.Mutex
+	vals map[int32][]float64 // global block row -> values
+}
+
+func TestDistributedMatVecMatchesSequential(t *testing.T) {
+	pr := buildTestProblem(t, 7, 6, 5, 4, 5)
+	b := 4
+	x := make([]float64, pr.a.N())
+	for i := range x {
+		x[i] = math.Cos(float64(i) * 0.23)
+	}
+	want := make([]float64, pr.a.N())
+	pr.a.MulVec(x, want)
+
+	board := &gatherBoard{vals: map[int32][]float64{}}
+	err := mpi.Run(5, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		lx := make([]float64, dm.LocalN())
+		ly := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lx[li*b:(li+1)*b], x[int(gr)*b:(int(gr)+1)*b])
+		}
+		if err := dm.MulVec(lx, ly); err != nil {
+			return err
+		}
+		board.mu.Lock()
+		for li, gr := range dm.Owned {
+			board.vals[gr] = append([]float64(nil), ly[li*b:(li+1)*b]...)
+		}
+		board.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gr, vals := range board.vals {
+		for cpt, got := range vals {
+			if math.Abs(got-want[int(gr)*b+cpt]) > 1e-12 {
+				t.Fatalf("row %d comp %d: %g vs %g", gr, cpt, got, want[int(gr)*b+cpt])
+			}
+		}
+	}
+	if len(board.vals) != pr.a.NB {
+		t.Fatalf("gathered %d rows, want %d", len(board.vals), pr.a.NB)
+	}
+}
+
+func TestDistributedDotAndNorm(t *testing.T) {
+	pr := buildTestProblem(t, 6, 5, 4, 2, 4)
+	b := 2
+	x := make([]float64, pr.a.N())
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	var want float64
+	for _, v := range x {
+		want += v * v
+	}
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		lx := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lx[li*b:(li+1)*b], x[int(gr)*b:(int(gr)+1)*b])
+		}
+		got := dm.Dot(lx, lx)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			return fmt.Errorf("rank %d: dot %g, want %g", c.Rank(), got, want)
+		}
+		if math.Abs(dm.Norm2(lx)-math.Sqrt(want)) > 1e-9 {
+			return fmt.Errorf("norm mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedGMRESMatchesSequentialSchwarz(t *testing.T) {
+	// The distributed block-Jacobi GMRES must converge to the same
+	// solution (and essentially the same iteration count) as the
+	// sequential GMRES with the schwarz package's block Jacobi over the
+	// same partition: they are the same algorithm.
+	pr := buildTestProblem(t, 8, 7, 5, 4, 6)
+	b := 4
+
+	pc, err := schwarz.New(pr.a, pr.part.Part, 6, schwarz.Options{ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xSeq := make([]float64, pr.a.N())
+	seqStats, err := krylov.Solve(krylov.OperatorFunc(pr.a.MulVec), pc, pr.rhs, xSeq,
+		krylov.Options{Restart: 25, MaxIters: 400, RelTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqStats.Converged {
+		t.Fatal("sequential reference did not converge")
+	}
+
+	board := &gatherBoard{vals: map[int32][]float64{}}
+	var distIts int
+	var itsMu sync.Mutex
+	err = mpi.Run(6, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		solve, err := dm.BlockJacobi(ilu.Options{Level: 0})
+		if err != nil {
+			return err
+		}
+		lb := make([]float64, dm.LocalN())
+		lx := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lb[li*b:(li+1)*b], pr.rhs[int(gr)*b:(int(gr)+1)*b])
+		}
+		st, err := GMRES(dm, solve, lb, lx, GMRESOptions{Restart: 25, MaxIters: 400, RelTol: 1e-9})
+		if err != nil {
+			return err
+		}
+		if !st.Converged {
+			return fmt.Errorf("rank %d: distributed GMRES did not converge (res %g)", c.Rank(), st.ResidualNorm)
+		}
+		itsMu.Lock()
+		distIts = st.Iterations
+		itsMu.Unlock()
+		board.mu.Lock()
+		for li, gr := range dm.Owned {
+			board.vals[gr] = append([]float64(nil), lx[li*b:(li+1)*b]...)
+		}
+		board.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solutions agree (both solve to 1e-9 of the same system).
+	var worst float64
+	for gr, vals := range board.vals {
+		for cpt, got := range vals {
+			if d := math.Abs(got - xSeq[int(gr)*b+cpt]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-5 {
+		t.Errorf("distributed and sequential solutions differ by %g", worst)
+	}
+	// Same algorithm: iteration counts agree to a small margin (inner
+	// products are summed in different orders).
+	if diff := distIts - seqStats.Iterations; diff < -3 || diff > 3 {
+		t.Errorf("iteration counts diverge: distributed %d vs sequential %d", distIts, seqStats.Iterations)
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	pr := buildTestProblem(t, 4, 3, 3, 2, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := NewMatrix(c, pr.a, pr.part.Part[:5]); err == nil {
+			return fmt.Errorf("short partition accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partition leaving any rank empty is rejected by every rank
+	// (before communication, so no deadlock).
+	allZero := make([]int32, pr.a.NB)
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := NewMatrix(c, pr.a, allZero); err == nil {
+			return fmt.Errorf("empty rank accepted on rank %d", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGMRESOptionValidation(t *testing.T) {
+	pr := buildTestProblem(t, 4, 3, 3, 2, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		lb := make([]float64, dm.LocalN())
+		lx := make([]float64, dm.LocalN())
+		if _, err := GMRES(dm, nil, lb, lx, GMRESOptions{Restart: 0, MaxIters: 1}); err == nil {
+			return fmt.Errorf("restart 0 accepted")
+		}
+		if _, err := GMRES(dm, nil, lb[:1], lx, GMRESOptions{Restart: 5, MaxIters: 5}); err == nil {
+			return fmt.Errorf("short vector accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

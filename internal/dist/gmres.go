@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRESOptions configures the distributed solve.
+type GMRESOptions struct {
+	Restart  int
+	MaxIters int
+	RelTol   float64
+}
+
+// GMRESStats reports the distributed solve's outcome.
+type GMRESStats struct {
+	Iterations   int
+	Converged    bool
+	ResidualNorm float64
+}
+
+// GMRES runs right-preconditioned restarted GMRES on the distributed
+// system A x = b. b and x are this rank's owned parts; pc is the local
+// preconditioner solve (e.g. from Matrix.BlockJacobi). Every rank calls
+// it collectively; inner products synchronize through the communicator,
+// so all ranks see identical iteration decisions.
+func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions) (GMRESStats, error) {
+	n := a.LocalN()
+	if len(b) != n || len(x) != n {
+		return GMRESStats{}, fmt.Errorf("dist: local vector lengths %d/%d, want %d", len(b), len(x), n)
+	}
+	if opts.Restart < 1 || opts.MaxIters < 1 {
+		return GMRESStats{}, fmt.Errorf("dist: need positive Restart and MaxIters")
+	}
+	if pc == nil {
+		pc = func(r, z []float64) { copy(z, r) }
+	}
+	mr := opts.Restart
+	var st GMRESStats
+
+	v := make([][]float64, mr+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, mr+1)
+	for i := range h {
+		h[i] = make([]float64, mr)
+	}
+	cs := make([]float64, mr)
+	sn := make([]float64, mr)
+	g := make([]float64, mr+1)
+	z := make([]float64, n)
+	w := make([]float64, n)
+	r := make([]float64, n)
+
+	residual := func() (float64, error) {
+		if err := a.MulVec(x, r); err != nil {
+			return 0, err
+		}
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		return a.Norm2(r), nil
+	}
+	beta, err := residual()
+	if err != nil {
+		return st, err
+	}
+	target := opts.RelTol * beta
+	st.ResidualNorm = beta
+	if beta <= target || beta == 0 {
+		st.Converged = true
+		return st, nil
+	}
+	for st.Iterations < opts.MaxIters {
+		if st.Iterations > 0 {
+			if beta, err = residual(); err != nil {
+				return st, err
+			}
+			if beta <= target {
+				st.ResidualNorm = beta
+				st.Converged = true
+				return st, nil
+			}
+		}
+		inv := 1 / beta
+		for i := range r {
+			v[0][i] = r[i] * inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+		j := 0
+		for ; j < mr && st.Iterations < opts.MaxIters; j++ {
+			st.Iterations++
+			pc(v[j], z)
+			if err := a.MulVec(z, w); err != nil {
+				return st, err
+			}
+			for i := 0; i <= j; i++ {
+				h[i][j] = a.Dot(w, v[i])
+				for k := range w {
+					w[k] -= h[i][j] * v[i][k]
+				}
+			}
+			h[j+1][j] = a.Norm2(w)
+			if h[j+1][j] > 1e-300 {
+				inv := 1 / h[j+1][j]
+				for k := range w {
+					v[j+1][k] = w[k] * inv
+				}
+			} else {
+				for k := range v[j+1] {
+					v[j+1][k] = 0
+				}
+			}
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
+				h[i+1][j] = -sn[i]*h[i][j] + cs[i]*h[i+1][j]
+				h[i][j] = t
+			}
+			denom := math.Hypot(h[j][j], h[j+1][j])
+			if denom < 1e-300 {
+				cs[j], sn[j] = 1, 0
+			} else {
+				cs[j] = h[j][j] / denom
+				sn[j] = h[j+1][j] / denom
+			}
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j+1][j]
+			h[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			st.ResidualNorm = math.Abs(g[j+1])
+			if st.ResidualNorm <= target {
+				j++
+				break
+			}
+		}
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < j; k++ {
+				s -= h[i][k] * y[k]
+			}
+			if math.Abs(h[i][i]) >= 1e-300 {
+				y[i] = s / h[i][i]
+			}
+		}
+		for i := range z {
+			z[i] = 0
+		}
+		for k := 0; k < j; k++ {
+			for i := range z {
+				z[i] += y[k] * v[k][i]
+			}
+		}
+		pc(z, w)
+		for i := range x {
+			x[i] += w[i]
+		}
+		if st.ResidualNorm <= target {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,103 @@
+package euler
+
+import (
+	"math"
+	"testing"
+
+	"petscfun3d/internal/mesh"
+)
+
+// singleTetMesh builds a mesh of one tetrahedron with the given vertex
+// order (to exercise both orientations of the hex-split output).
+func singleTetMesh(t *testing.T, order [4]int32) *mesh.Mesh {
+	t.Helper()
+	m := &mesh.Mesh{
+		Coords: []mesh.Vec3{
+			{X: 0, Y: 0, Z: 0},
+			{X: 1, Y: 0, Z: 0},
+			{X: 0, Y: 1, Z: 0},
+			{X: 0, Y: 0, Z: 1},
+		},
+		Boundary: make([]bool, 4),
+		BKind:    make([]mesh.BoundaryKind, 4),
+		BNormal:  make([]mesh.Vec3, 4),
+		Tets:     [][4]int32{order},
+	}
+	// All four vertices are on the boundary of a single tet.
+	for v := range m.Boundary {
+		m.Boundary[v] = true
+		m.BKind[v] = mesh.BWall
+	}
+	rebuild(t, m)
+	return m
+}
+
+// rebuild regenerates connectivity via Renumber with the identity (the
+// package-internal buildConnectivity is not exported).
+func rebuild(t *testing.T, m *mesh.Mesh) {
+	t.Helper()
+	*m = *m.Renumber(mesh.Identity(4))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryOrientationIndependent(t *testing.T) {
+	// The unit tet has volume 1/6 regardless of the vertex order handed
+	// to the generator (negative-orientation tets are flipped, not
+	// rejected).
+	pos := singleTetMesh(t, [4]int32{0, 1, 2, 3})
+	neg := singleTetMesh(t, [4]int32{1, 0, 2, 3})
+	gp, err := BuildGeometry(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, err := BuildGeometry(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gp.TotalVolume-1.0/6.0) > 1e-12 {
+		t.Errorf("volume %g, want 1/6", gp.TotalVolume)
+	}
+	if math.Abs(gp.TotalVolume-gn.TotalVolume) > 1e-12 {
+		t.Errorf("orientation changed total volume: %g vs %g", gp.TotalVolume, gn.TotalVolume)
+	}
+	// Edge normals have identical magnitudes under either orientation.
+	for i := range gp.Normals {
+		if math.Abs(norm3(gp.Normals[i])-norm3(gn.Normals[i])) > 1e-12 {
+			t.Errorf("edge %d normal magnitude differs between orientations", i)
+		}
+	}
+	// Dual volumes split the tet equally (by symmetry of the split, each
+	// vertex gets a quarter).
+	for v, vol := range gp.Volumes {
+		if math.Abs(vol-1.0/24.0) > 1e-12 {
+			t.Errorf("vertex %d dual volume %g, want 1/24", v, vol)
+		}
+	}
+}
+
+func TestGeometryNormalsScaleWithMesh(t *testing.T) {
+	// Doubling all coordinates scales areas by 4 and volumes by 8.
+	small := singleTetMesh(t, [4]int32{0, 1, 2, 3})
+	big := singleTetMesh(t, [4]int32{0, 1, 2, 3})
+	for v := range big.Coords {
+		big.Coords[v] = mesh.Vec3{X: 2 * big.Coords[v].X, Y: 2 * big.Coords[v].Y, Z: 2 * big.Coords[v].Z}
+	}
+	gs, err := BuildGeometry(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := BuildGeometry(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gb.TotalVolume-8*gs.TotalVolume) > 1e-12 {
+		t.Errorf("volume scaling: %g vs 8*%g", gb.TotalVolume, gs.TotalVolume)
+	}
+	for i := range gs.Normals {
+		if math.Abs(norm3(gb.Normals[i])-4*norm3(gs.Normals[i])) > 1e-12 {
+			t.Errorf("edge %d area scaling wrong", i)
+		}
+	}
+}

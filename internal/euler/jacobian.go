@@ -1,0 +1,149 @@
+package euler
+
+import (
+	"fmt"
+
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/sparse"
+)
+
+// JacobianPattern allocates the BCSR matrix with the sparsity of the
+// first-order flux Jacobian (vertex graph plus diagonal).
+func (d *Discretization) JacobianPattern() *sparse.BCSR {
+	g := sparse.Graph{NV: d.M.NumVertices(), XAdj: d.M.XAdj, Adj: d.M.Adj}
+	return sparse.BlockPattern(g, d.Sys.B())
+}
+
+// AssembleJacobian fills a (which must have JacobianPattern's sparsity)
+// with the analytical Jacobian of the *first-order* residual at state q,
+// regardless of the discretization's flux order: as in the paper, the
+// preconditioner matrix is always built from the first-order analytical
+// Jacobian while the (possibly second-order) operator is applied
+// matrix-free.
+//
+// Requires the interlaced layout (blocks only make sense there).
+func (d *Discretization) AssembleJacobian(q []float64, a *sparse.BCSR) error {
+	if d.Opts.Layout != sparse.Interlaced {
+		return fmt.Errorf("euler: AssembleJacobian requires interlaced layout")
+	}
+	b := d.Sys.B()
+	if a.NB != d.M.NumVertices() || a.B != b {
+		return fmt.Errorf("euler: Jacobian matrix is %dx%d blocks of %d, want %d of %d",
+			a.NB, a.NB, a.B, d.M.NumVertices(), b)
+	}
+	for i := range a.Val {
+		a.Val[i] = 0
+	}
+	bb := b * b
+	var qa, qb [5]float64
+	jl := make([]float64, bb)
+	jr := make([]float64, bb)
+	addBlock := func(i, j int32, blk []float64, sign float64) error {
+		dst, ok := a.BlockAt(int(i), int(j))
+		if !ok {
+			return fmt.Errorf("euler: Jacobian block (%d,%d) missing from pattern", i, j)
+		}
+		for k := range blk {
+			dst[k] += sign * blk[k]
+		}
+		return nil
+	}
+	for _, e := range d.edges {
+		d.gather(q, e.a, qa[:b])
+		d.gather(q, e.b, qb[:b])
+		lam := d.Sys.SpectralRadius(qa[:b], e.n)
+		if l2 := d.Sys.SpectralRadius(qb[:b], e.n); l2 > lam {
+			lam = l2
+		}
+		// dH/dqa = ½ A(qa)·S + ½λI ; dH/dqb = ½ A(qb)·S − ½λI
+		// (dissipation coefficient frozen, the standard approximation).
+		d.Sys.PhysJacobian(qa[:b], e.n, jl)
+		d.Sys.PhysJacobian(qb[:b], e.n, jr)
+		for k := range jl {
+			jl[k] *= 0.5
+			jr[k] *= 0.5
+		}
+		for c := 0; c < b; c++ {
+			jl[c*b+c] += 0.5 * lam
+			jr[c*b+c] -= 0.5 * lam
+		}
+		// r_a += H, r_b -= H.
+		if err := addBlock(e.a, e.a, jl, +1); err != nil {
+			return err
+		}
+		if err := addBlock(e.a, e.b, jr, +1); err != nil {
+			return err
+		}
+		if err := addBlock(e.b, e.a, jl, -1); err != nil {
+			return err
+		}
+		if err := addBlock(e.b, e.b, jr, -1); err != nil {
+			return err
+		}
+	}
+	// Boundary fluxes.
+	inf := d.Sys.Freestream()
+	for v := int32(0); v < int32(d.M.NumVertices()); v++ {
+		kind := d.M.BKind[v]
+		if kind == mesh.BNone {
+			continue
+		}
+		s := d.Geo.BoundaryArea[v]
+		d.gather(q, v, qa[:b])
+		dst, ok := a.BlockAt(int(v), int(v))
+		if !ok {
+			return fmt.Errorf("euler: missing diagonal block %d", v)
+		}
+		switch kind {
+		case mesh.BInflow, mesh.BOutflow:
+			lam := d.Sys.SpectralRadius(qa[:b], s)
+			if l2 := d.Sys.SpectralRadius(inf, s); l2 > lam {
+				lam = l2
+			}
+			d.Sys.PhysJacobian(qa[:b], s, jl)
+			for k := range jl {
+				dst[k] += 0.5 * jl[k]
+			}
+			for c := 0; c < b; c++ {
+				dst[c*b+c] += 0.5 * lam
+			}
+		case mesh.BWall:
+			d.wallJacobian(qa[:b], s, jl)
+			for k := range jl {
+				dst[k] += jl[k]
+			}
+		}
+	}
+	if d.Opts.Viscosity > 0 {
+		d.addDiffusionJacobian(a)
+	}
+	return nil
+}
+
+// wallJacobian computes d(wallFlux)/dq into j (row-major b×b).
+func (d *Discretization) wallJacobian(q []float64, s mesh.Vec3, j []float64) {
+	b := d.Sys.B()
+	for k := range j[:b*b] {
+		j[k] = 0
+	}
+	switch sys := d.Sys.(type) {
+	case *Incompressible:
+		// Momentum rows depend only on p (component 0).
+		j[1*b+0] = s.X
+		j[2*b+0] = s.Y
+		j[3*b+0] = s.Z
+	case *Compressible:
+		g1 := sys.Gamma - 1
+		rho := q[0]
+		u, v, w := q[1]/rho, q[2]/rho, q[3]/rho
+		phi := 0.5 * g1 * (u*u + v*v + w*w)
+		dp := [5]float64{phi, -g1 * u, -g1 * v, -g1 * w, g1}
+		for c := 0; c < 5; c++ {
+			j[1*b+c] = s.X * dp[c]
+			j[2*b+c] = s.Y * dp[c]
+			j[3*b+c] = s.Z * dp[c]
+		}
+	default:
+		panic("euler: wallJacobian: unknown system")
+	}
+}

@@ -1,0 +1,76 @@
+package euler
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ResidualParallel evaluates the residual with nthreads goroutines
+// splitting the edge loop — the shared-memory instruction-level
+// parallelism the paper studies for the flux phase (Table 5). Because
+// two threads may touch the same vertex's residual, each thread
+// accumulates into a private copy of the residual vector and the copies
+// are summed afterwards — precisely the "redundant work arrays ...
+// required by the lack of a vector-reduce in OpenMP (version 1)" whose
+// gather cost the paper discusses. Boundary fluxes are applied by the
+// calling goroutine.
+//
+// First-order fluxes only (the paper threads only the flux phase).
+func (d *Discretization) ResidualParallel(q, r []float64, nthreads int) error {
+	if d.Opts.Order != 1 {
+		return fmt.Errorf("euler: ResidualParallel supports first-order fluxes only")
+	}
+	if nthreads < 1 {
+		return fmt.Errorf("euler: nthreads %d < 1", nthreads)
+	}
+	n := d.N()
+	for i := range r[:n] {
+		r[i] = 0
+	}
+	b := d.Sys.B()
+	// Private residual arrays (the redundant work arrays).
+	priv := make([][]float64, nthreads)
+	for t := range priv {
+		if t == 0 {
+			priv[t] = r[:n]
+		} else {
+			priv[t] = make([]float64, n)
+		}
+	}
+	var wg sync.WaitGroup
+	chunk := (len(d.edges) + nthreads - 1) / nthreads
+	for t := 0; t < nthreads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(d.edges) {
+			hi = len(d.edges)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			rr := priv[t]
+			var qa, qb, flux, scratch [5]float64
+			for _, e := range d.edges[lo:hi] {
+				d.gather(q, e.a, qa[:b])
+				d.gather(q, e.b, qb[:b])
+				NumFlux(d.Sys, qa[:b], qb[:b], e.n, flux[:b], scratch[:b])
+				d.scatterAdd(rr, e.a, flux[:b], +1)
+				d.scatterAdd(rr, e.b, flux[:b], -1)
+			}
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	// Gather: sum the private arrays (memory-bandwidth-bound, the cost
+	// that can offset the threading benefit).
+	for t := 1; t < nthreads; t++ {
+		pt := priv[t]
+		for i := 0; i < n; i++ {
+			r[i] += pt[i]
+		}
+	}
+	d.boundaryResidual(q, r)
+	return nil
+}

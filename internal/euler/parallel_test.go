@@ -1,0 +1,59 @@
+package euler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResidualParallelMatchesSequential(t *testing.T) {
+	m := testMesh(t, 9, 7, 6)
+	for _, sys := range systems() {
+		d := newDisc(t, m, sys, Options{Order: 1})
+		q := smoothState(d)
+		rs := make([]float64, d.N())
+		d.Residual(q, rs)
+		for _, nt := range []int{1, 2, 3, 4, 7} {
+			rp := make([]float64, d.N())
+			if err := d.ResidualParallel(q, rp, nt); err != nil {
+				t.Fatalf("%s nthreads=%d: %v", sys.Name(), nt, err)
+			}
+			for i := range rs {
+				if math.Abs(rs[i]-rp[i]) > 1e-11 {
+					t.Fatalf("%s nthreads=%d: residual differs at %d: %g vs %g",
+						sys.Name(), nt, i, rs[i], rp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestResidualParallelValidation(t *testing.T) {
+	m := testMesh(t, 5, 4, 4)
+	d2 := newDisc(t, m, NewIncompressible(), Options{Order: 2})
+	q := d2.FreestreamVector()
+	r := make([]float64, d2.N())
+	if err := d2.ResidualParallel(q, r, 2); err == nil {
+		t.Error("second-order parallel residual accepted")
+	}
+	d1 := newDisc(t, m, NewIncompressible(), Options{Order: 1})
+	if err := d1.ResidualParallel(q, r, 0); err == nil {
+		t.Error("0 threads accepted")
+	}
+}
+
+func BenchmarkResidualThreads1(b *testing.B) { benchThreads(b, 1) }
+func BenchmarkResidualThreads2(b *testing.B) { benchThreads(b, 2) }
+func BenchmarkResidualThreads4(b *testing.B) { benchThreads(b, 4) }
+
+func benchThreads(b *testing.B, nt int) {
+	m := testMesh(b, 20, 16, 12)
+	d := newDisc(b, m, NewIncompressible(), Options{Order: 1})
+	q := d.FreestreamVector()
+	r := make([]float64, d.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ResidualParallel(q, r, nt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers: each figure-type result can dump its series as CSV for
+// external plotting (benchtables -csv <dir> writes one file per
+// experiment).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }
+func d(x int) string     { return strconv.Itoa(x) }
+
+// WriteCSV emits the layout sweep.
+func (t *Table1Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%v", r.Interlacing), fmt.Sprintf("%v", r.Blocking), fmt.Sprintf("%v", r.Reordering),
+			f(r.PerStep.Seconds()), f(r.Ratio), f(r.Modeled), f(r.ModeledRatio),
+		})
+	}
+	return writeCSV(w, []string{"interlacing", "blocking", "reordering",
+		"measured_s", "measured_ratio", "modeled_s", "modeled_ratio"}, rows)
+}
+
+// WriteCSV emits the miss counters.
+func (fig *Figure3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(fig.Rows))
+	for _, r := range fig.Rows {
+		rows = append(rows, []string{r.Label, strconv.FormatUint(r.TLBMisses, 10),
+			strconv.FormatUint(r.L2Misses, 10)})
+	}
+	return writeCSV(w, []string{"variant", "tlb_misses", "l2_misses"}, rows)
+}
+
+// WriteCSV emits the scaling study (Table 3 / Figure 1 series).
+func (t *Table3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			d(r.Procs), d(r.VerticesPerProc), d(r.LinearIts), f(r.Seconds),
+			f(r.Speedup), f(r.EffOverall), f(r.EffAlg), f(r.EffImpl),
+			f(r.PctReductions), f(r.PctImplicitSync), f(r.PctScatters),
+			f(r.DataPerItGB), f(r.EffBWPerNodeMBs), f(r.Gflops),
+		})
+	}
+	return writeCSV(w, []string{"procs", "verts_per_proc", "linear_its", "seconds",
+		"speedup", "eff_overall", "eff_alg", "eff_impl",
+		"pct_reductions", "pct_implicit_sync", "pct_scatters",
+		"gb_per_it", "eff_mbs_per_node", "gflops"}, rows)
+}
+
+// WriteCSV emits the machine comparison series.
+func (fig *Figure2Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, st := range fig.Studies {
+		for _, r := range st.Rows {
+			rows = append(rows, []string{st.Profile, d(r.Procs), f(r.Gflops), f(r.Seconds)})
+		}
+	}
+	return writeCSV(w, []string{"machine", "procs", "gflops", "seconds"}, rows)
+}
+
+// WriteCSV emits the partitioner comparison.
+func (fig *Figure4Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i := range fig.KWay.Rows {
+		k, p := fig.KWay.Rows[i], fig.PWay.Rows[i]
+		rows = append(rows, []string{d(k.Procs), f(k.Seconds), f(k.Speedup),
+			f(p.Seconds), f(p.Speedup), d(k.LinearIts), d(p.LinearIts)})
+	}
+	return writeCSV(w, []string{"procs", "kway_seconds", "kway_speedup",
+		"pway_seconds", "pway_speedup", "kway_its", "pway_its"}, rows)
+}
+
+// WriteCSV emits the residual histories, one column per CFL series.
+func (fig *Figure5Result) WriteCSV(w io.Writer) error {
+	header := []string{"step"}
+	maxLen := 0
+	for _, s := range fig.Series {
+		header = append(header, fmt.Sprintf("cfl_%g", s.CFL0))
+		if len(s.Residuals) > maxLen {
+			maxLen = len(s.Residuals)
+		}
+	}
+	rows := make([][]string, 0, maxLen)
+	for i := 0; i < maxLen; i++ {
+		row := []string{d(i)}
+		for _, s := range fig.Series {
+			if i < len(s.Residuals) {
+				row = append(row, f(s.Residuals[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}

@@ -1,0 +1,65 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the repo's substrates. Each experiment returns a
+// structured result plus a formatted rendering; cmd/benchtables drives
+// them and EXPERIMENTS.md records paper-vs-measured comparisons.
+//
+// Experiments run at three sizes. Small is a smoke-test scale used by
+// the test suite; Medium is the recorded scale of EXPERIMENTS.md;
+// Large approaches the paper's mesh sizes where single-host time
+// permits. Mesh sizes are scaled down from the paper's 22,677 / 357,900
+// / 2.8M vertices with the rank counts scaled alongside so that
+// vertices-per-rank ratios (which drive the convergence and
+// communication behavior) stay comparable.
+package experiments
+
+import "fmt"
+
+// Size selects the experiment scale.
+type Size int
+
+const (
+	// Small is the smoke-test scale (seconds).
+	Small Size = iota
+	// Medium is the recorded scale of EXPERIMENTS.md (minutes).
+	Medium
+	// Large approaches the paper's scale (tens of minutes).
+	Large
+)
+
+// ParseSize converts a -size flag value.
+func ParseSize(s string) (Size, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return Small, fmt.Errorf("experiments: unknown size %q (want small|medium|large)", s)
+}
+
+// String implements fmt.Stringer.
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// pick returns the value for the size.
+func pick[T any](s Size, small, medium, large T) T {
+	switch s {
+	case Medium:
+		return medium
+	case Large:
+		return large
+	default:
+		return small
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	for _, s := range []string{"small", "medium", "large"} {
+		sz, err := ParseSize(s)
+		if err != nil || sz.String() != s {
+			t.Errorf("ParseSize(%q) = %v, %v", s, sz, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("unknown size accepted")
+	}
+}
+
+func TestTable1ShapeIncompressible(t *testing.T) {
+	res, err := Table1(Small, "incompressible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
+	}
+	if res.Rows[0].Ratio != 1 {
+		t.Errorf("baseline ratio = %g", res.Rows[0].Ratio)
+	}
+	// The fully enhanced variant must beat the baseline.
+	last := res.Rows[5]
+	if !last.Interlacing || !last.Blocking || !last.Reordering {
+		t.Fatal("row order wrong")
+	}
+	if last.Ratio <= 1 {
+		t.Errorf("full enhancements ratio %.2f not > 1", last.Ratio)
+	}
+	if !strings.Contains(res.Render(), "Table 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable1RejectsUnknownSystem(t *testing.T) {
+	if _, err := Table1(Small, "plasma"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byLabel := map[string]Figure3Row{}
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+		if r.TLBMisses == 0 || r.L2Misses == 0 {
+			t.Errorf("%s: zero miss counts", r.Label)
+		}
+	}
+	// Edge reordering must slash TLB misses (the paper: two orders of
+	// magnitude; we require a decisive factor).
+	noer := byLabel["NOER/interlaced"]
+	reord := byLabel["reordered/interlaced"]
+	if reord.TLBMisses*3 >= noer.TLBMisses {
+		t.Errorf("reordering TLB %d not well below NOER %d", reord.TLBMisses, noer.TLBMisses)
+	}
+	// Interlacing must cut L2 misses against noninterlaced.
+	nonint := byLabel["reordered/noninterlaced"]
+	if reord.L2Misses >= nonint.L2Misses {
+		t.Errorf("interlaced L2 %d not below noninterlaced %d", reord.L2Misses, nonint.L2Misses)
+	}
+	// The fully enhanced variant has the fewest misses overall.
+	best := byLabel["reordered/interlaced+blocked"]
+	for _, r := range res.Rows {
+		if r.Label == best.Label {
+			continue
+		}
+		if best.L2Misses > r.L2Misses && best.TLBMisses > r.TLBMisses {
+			t.Errorf("fully enhanced beaten by %s on both counters", r.Label)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 3") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	t1, err := Table1(Small, "incompressible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 7 {
+		t.Errorf("table1 csv has %d lines, want 7", lines)
+	}
+	f3, err := Figure3(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "variant,tlb_misses,l2_misses") {
+		t.Error("figure3 csv header wrong")
+	}
+	f5, err := Figure5(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cfl_") {
+		t.Error("figure5 csv missing series columns")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"petscfun3d/internal/core"
+)
+
+// Figure5Series is the convergence history for one initial CFL number.
+type Figure5Series struct {
+	CFL0      float64
+	Residuals []float64 // residual norm per pseudo-timestep (index 0 = initial)
+	Steps     int
+	Converged bool
+}
+
+// Figure5Result reproduces Figure 5: residual norm versus pseudo-
+// timestep for a sweep of initial CFL numbers on the incompressible wing
+// problem. Aggressive initial CFL shortens the induction period for this
+// smooth flow, as the paper observes.
+type Figure5Result struct {
+	Vertices int
+	Series   []Figure5Series
+}
+
+// Figure5 runs the CFL sweep.
+func Figure5(size Size) (*Figure5Result, error) {
+	nv := pick(size, 2000, 22677, 22677)
+	cfls := pick(size, []float64{1, 10, 50}, []float64{1, 5, 10, 25, 50, 100}, []float64{1, 5, 10, 25, 50, 100})
+	res := &Figure5Result{}
+	for _, cfl := range cfls {
+		cfg := core.DefaultConfig()
+		cfg.TargetVertices = nv
+		cfg.Newton.CFL0 = cfl
+		cfg.Newton.RelTol = 1e-8
+		cfg.Newton.MaxSteps = pick(size, 120, 200, 200)
+		out, err := core.RunSequential(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Vertices = out.Problem.Mesh.NumVertices()
+		s := Figure5Series{CFL0: cfl, Converged: out.Newton.Converged}
+		s.Residuals = append(s.Residuals, out.Newton.InitialRnorm)
+		for _, st := range out.Newton.Steps {
+			s.Residuals = append(s.Residuals, st.Rnorm)
+		}
+		s.Steps = len(out.Newton.Steps)
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render formats the convergence histories as columns.
+func (f *Figure5Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — residual norm vs pseudo-timestep by initial CFL, %d vertices\n", f.Vertices)
+	sb.WriteString("  step |")
+	maxLen := 0
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %12s", fmt.Sprintf("CFL0=%g", s.CFL0))
+		if len(s.Residuals) > maxLen {
+			maxLen = len(s.Residuals)
+		}
+	}
+	sb.WriteString("\n")
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&sb, "%6d |", i)
+		for _, s := range f.Series {
+			if i < len(s.Residuals) {
+				fmt.Fprintf(&sb, " %12.3e", s.Residuals[i])
+			} else {
+				fmt.Fprintf(&sb, " %12s", "—")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("steps to converge:")
+	for _, s := range f.Series {
+		conv := "∞"
+		if s.Converged {
+			conv = fmt.Sprintf("%d", s.Steps)
+		}
+		fmt.Fprintf(&sb, "  CFL0=%g: %s", s.CFL0, conv)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/perfmodel"
+	"petscfun3d/internal/sparse"
+)
+
+// SpMVBoundRow compares the reference-[10] achievable bounds for one
+// format/precision on one machine.
+type SpMVBoundRow struct {
+	Machine      string
+	Format       string
+	BWBoundMF    float64 // Mflop/s permitted by memory bandwidth
+	InstrBoundMF float64 // Mflop/s permitted by instruction issue
+	MemoryBound  bool
+}
+
+// SpMVBoundResult reproduces the companion paper's analysis the text
+// leans on: sparse matrix-vector product is memory-bandwidth limited on
+// every platform, and structural blocking / reduced precision raise the
+// bound. (These are the analytical underpinnings of Tables 1 and 2.)
+type SpMVBoundResult struct {
+	Vertices int
+	Rows     []SpMVBoundRow
+}
+
+// SpMVBounds evaluates the bounds for the Jacobian of the incompressible
+// system on the experiment mesh across the era machine profiles.
+func SpMVBounds(size Size) (*SpMVBoundResult, error) {
+	nv := pick(size, 2500, 22677, 22677)
+	m, err := mesh.GenerateWingN(nv)
+	if err != nil {
+		return nil, err
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	blk := sparse.BlockPattern(g, 4)
+	nnzb := blk.NNZBlocks()
+	shapes := []struct {
+		name  string
+		shape perfmodel.SpMVShape
+	}{
+		{"CSR f64", perfmodel.CSRShape(blk.N(), blk.NNZ())},
+		{"BCSR4 f64", perfmodel.BCSRShape(blk.NB, nnzb, 4)},
+		{"BCSR4 f32", perfmodel.SpMVShape{N: blk.N(), NNZ: blk.NNZ(), NNZBlocks: nnzb, ValBytes: 4}},
+	}
+	res := &SpMVBoundResult{Vertices: m.NumVertices()}
+	for _, prof := range perfmodel.Profiles() {
+		for _, s := range shapes {
+			_, memBound := prof.SpMVBound(s.shape)
+			res.Rows = append(res.Rows, SpMVBoundRow{
+				Machine:      prof.Name,
+				Format:       s.name,
+				BWBoundMF:    prof.SpMVBandwidthBound(s.shape) / 1e6,
+				InstrBoundMF: prof.SpMVInstructionBound(s.shape) / 1e6,
+				MemoryBound:  memBound,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the bounds table.
+func (r *SpMVBoundResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SpMV achievable bounds (ref. [10] analysis), %d vertices, b=4 Jacobian\n", r.Vertices)
+	fmt.Fprintf(&sb, "%-14s %-10s | %14s %16s %s\n", "machine", "format", "BW bound MF/s", "instr bound MF/s", "binding")
+	for _, row := range r.Rows {
+		binding := "instruction"
+		if row.MemoryBound {
+			binding = "memory"
+		}
+		fmt.Fprintf(&sb, "%-14s %-10s | %14.0f %16.0f %s\n",
+			row.Machine, row.Format, row.BWBoundMF, row.InstrBoundMF, binding)
+	}
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"petscfun3d/internal/core"
+	"petscfun3d/internal/perfmodel"
+)
+
+// Table5Row is one node count of the paper's Table 5.
+type Table5Row struct {
+	Nodes    int
+	Threads1 float64 // 1 thread/node (baseline), seconds
+	Threads2 float64 // 2 OpenMP-style threads/node
+	MPI1     float64 // 1 MPI rank/node (same as Threads1 baseline structure)
+	MPI2     float64 // 2 MPI ranks/node
+}
+
+// Table5Result reproduces Table 5: function (flux) evaluations only,
+// exploiting the node's second processor by threading versus by a second
+// MPI rank, on the ASCI Red profile. At small node counts the two are
+// comparable (threads pay the private-array gather); at large node
+// counts threads win because doubling the rank count inflates redundant
+// surface work and message counts.
+type Table5Result struct {
+	Vertices int
+	Evals    int
+	Rows     []Table5Row
+}
+
+// Table5 runs the hybrid-programming-model comparison.
+func Table5(size Size) (*Table5Result, error) {
+	nv := pick(size, 4000, 45000, 180000)
+	nodes := pick(size, []int{8, 32}, []int{64, 256, 512}, []int{256, 2560, 3072})
+	evals := pick(size, 20, 100, 100)
+	res := &Table5Result{Evals: evals}
+	for _, n := range nodes {
+		cfg := core.DefaultConfig()
+		cfg.TargetVertices = nv
+		cfg.Profile = perfmodel.ASCIRed
+		row := Table5Row{Nodes: n}
+		var err error
+		if row.Threads1, err = core.FluxPhaseTime(cfg, n, 1, 1, evals); err != nil {
+			return nil, err
+		}
+		if row.Threads2, err = core.FluxPhaseTime(cfg, n, 1, 2, evals); err != nil {
+			return nil, err
+		}
+		row.MPI1 = row.Threads1
+		if row.MPI2, err = core.FluxPhaseTime(cfg, n, 2, 1, evals); err != nil {
+			return nil, err
+		}
+		p, err := core.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Vertices = p.Mesh.NumVertices()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's Table 5.
+func (t *Table5Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 5 — flux phase only (%d evals), %d vertices, ASCI Red profile (modeled)\n",
+		t.Evals, t.Vertices)
+	fmt.Fprintf(&sb, "%6s | %22s | %22s\n", "", "MPI/OpenMP thr/node", "MPI procs/node")
+	fmt.Fprintf(&sb, "%6s | %10s %10s | %10s %10s\n", "Nodes", "1", "2", "1", "2")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%6d | %9.3fs %9.3fs | %9.3fs %9.3fs\n",
+			r.Nodes, r.Threads1, r.Threads2, r.MPI1, r.MPI2)
+	}
+	return sb.String()
+}

@@ -1,0 +1,257 @@
+// Package krylov implements the restarted GMRES(m) Krylov solver with
+// right preconditioning and modified Gram-Schmidt orthogonalization —
+// the linear solver inside every Newton step of the application. The
+// operator is an interface, so both assembled matrices and the paper's
+// matrix-free finite-difference Jacobian plug in.
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"petscfun3d/internal/sparse"
+)
+
+// Operator applies a linear map y = A x.
+type Operator interface {
+	Apply(x, y []float64)
+}
+
+// Preconditioner applies z = M⁻¹ r.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// OperatorFunc adapts a function to Operator.
+type OperatorFunc func(x, y []float64)
+
+// Apply implements Operator.
+func (f OperatorFunc) Apply(x, y []float64) { f(x, y) }
+
+// PrecondFunc adapts a function to Preconditioner.
+type PrecondFunc func(r, z []float64)
+
+// Apply implements Preconditioner.
+func (f PrecondFunc) Apply(r, z []float64) { f(r, z) }
+
+// Identity is the no-op preconditioner.
+type Identity struct{}
+
+// Apply implements Preconditioner.
+func (Identity) Apply(r, z []float64) { copy(z, r) }
+
+// Options configures a GMRES solve.
+type Options struct {
+	// Restart is the Krylov subspace dimension m of GMRES(m). The paper
+	// uses 10-30 (GMRES(20) for Table 4).
+	Restart int
+	// MaxIters caps the total iterations across restarts (10 for the
+	// smallest problems to 80 for the largest, per the paper).
+	MaxIters int
+	// RelTol is the relative residual convergence tolerance (the paper's
+	// inner tolerance: 0.001-0.01).
+	RelTol float64
+	// AbsTol is the absolute residual tolerance.
+	AbsTol float64
+	// Orthogonalization selects the Gram-Schmidt variant: "mgs"
+	// (modified, default — j+1 sequential inner products per iteration)
+	// or "cgs" (classical — the same products computed from one batched
+	// pass, which a distributed implementation turns into two global
+	// reductions instead of j+1; slightly less stable). The paper lists
+	// the orthogonalization mechanism among the Krylov tunables.
+	Orthogonalization string
+}
+
+// DefaultOptions mirror the paper's customary settings.
+func DefaultOptions() Options {
+	return Options{Restart: 20, MaxIters: 80, RelTol: 1e-2, AbsTol: 1e-30}
+}
+
+// Stats reports the work performed by a solve, the inputs of the
+// parallel-cost model (each iteration costs one operator apply, one
+// preconditioner apply, and ~m/2 inner products for orthogonalization).
+type Stats struct {
+	Iterations   int
+	MatVecs      int
+	PrecondApps  int
+	InnerProds   int
+	Restarts     int
+	Converged    bool
+	InitialNorm  float64
+	ResidualNorm float64
+}
+
+// Solve runs right-preconditioned GMRES(m) on A x = b, updating x in
+// place (its incoming value is the initial guess). Returns solve
+// statistics; an error only for malformed inputs.
+func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, error) {
+	n := len(b)
+	if len(x) != n {
+		return Stats{}, fmt.Errorf("krylov: len(x)=%d, len(b)=%d", len(x), n)
+	}
+	if opts.Restart < 1 || opts.MaxIters < 1 {
+		return Stats{}, fmt.Errorf("krylov: need positive Restart and MaxIters")
+	}
+	switch opts.Orthogonalization {
+	case "", "mgs", "cgs":
+	default:
+		return Stats{}, fmt.Errorf("krylov: unknown orthogonalization %q", opts.Orthogonalization)
+	}
+	if m == nil {
+		m = Identity{}
+	}
+	mr := opts.Restart
+	var st Stats
+
+	// Krylov basis and Hessenberg factorization workspace.
+	v := make([][]float64, mr+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, mr+1) // h[i][j], i row (0..mr), j col (0..mr-1)
+	for i := range h {
+		h[i] = make([]float64, mr)
+	}
+	cs := make([]float64, mr)
+	sn := make([]float64, mr)
+	g := make([]float64, mr+1)
+	z := make([]float64, n)
+	w := make([]float64, n)
+
+	r := make([]float64, n)
+	a.Apply(x, r)
+	st.MatVecs++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	beta := sparse.Norm2(r)
+	st.InitialNorm = beta
+	st.ResidualNorm = beta
+	target := opts.RelTol * beta
+	if opts.AbsTol > target {
+		target = opts.AbsTol
+	}
+	if beta <= target {
+		st.Converged = true
+		return st, nil
+	}
+
+	for st.Iterations < opts.MaxIters {
+		// Start (re)cycle.
+		if st.Iterations > 0 {
+			a.Apply(x, r)
+			st.MatVecs++
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			beta = sparse.Norm2(r)
+			st.Restarts++
+			if beta <= target {
+				st.ResidualNorm = beta
+				st.Converged = true
+				return st, nil
+			}
+		}
+		inv := 1 / beta
+		for i := range r {
+			v[0][i] = r[i] * inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < mr && st.Iterations < opts.MaxIters; j++ {
+			st.Iterations++
+			// w = A M^{-1} v_j.
+			m.Apply(v[j], z)
+			st.PrecondApps++
+			a.Apply(z, w)
+			st.MatVecs++
+			switch opts.Orthogonalization {
+			case "", "mgs":
+				// Modified Gram-Schmidt.
+				for i := 0; i <= j; i++ {
+					h[i][j] = sparse.Dot(w, v[i])
+					st.InnerProds++
+					sparse.Axpy(-h[i][j], v[i], w)
+				}
+			case "cgs":
+				// Classical Gram-Schmidt: all projections from the
+				// original w (batchable into one reduction), then a
+				// single subtraction pass.
+				for i := 0; i <= j; i++ {
+					h[i][j] = sparse.Dot(w, v[i])
+				}
+				st.InnerProds++ // one batched reduction
+				for i := 0; i <= j; i++ {
+					sparse.Axpy(-h[i][j], v[i], w)
+				}
+			}
+			h[j+1][j] = sparse.Norm2(w)
+			st.InnerProds++
+			if h[j+1][j] > 1e-300 {
+				inv := 1 / h[j+1][j]
+				for i := range w {
+					v[j+1][i] = w[i] * inv
+				}
+			} else {
+				// Happy breakdown: exact solution in this subspace.
+				for i := range v[j+1] {
+					v[j+1][i] = 0
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
+				h[i+1][j] = -sn[i]*h[i][j] + cs[i]*h[i+1][j]
+				h[i][j] = t
+			}
+			// New rotation to zero h[j+1][j].
+			denom := math.Hypot(h[j][j], h[j+1][j])
+			if denom < 1e-300 {
+				cs[j], sn[j] = 1, 0
+			} else {
+				cs[j] = h[j][j] / denom
+				sn[j] = h[j+1][j] / denom
+			}
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j+1][j]
+			h[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			st.ResidualNorm = math.Abs(g[j+1])
+			if st.ResidualNorm <= target {
+				j++
+				break
+			}
+		}
+		// Solve the j×j triangular system and update x += M^{-1} V y.
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < j; k++ {
+				s -= h[i][k] * y[k]
+			}
+			if math.Abs(h[i][i]) < 1e-300 {
+				y[i] = 0
+			} else {
+				y[i] = s / h[i][i]
+			}
+		}
+		for i := range z {
+			z[i] = 0
+		}
+		for k := 0; k < j; k++ {
+			sparse.Axpy(y[k], v[k], z)
+		}
+		m.Apply(z, w)
+		st.PrecondApps++
+		sparse.Axpy(1, w, x)
+		if st.ResidualNorm <= target {
+			st.Converged = true
+			return st, nil
+		}
+	}
+	return st, nil
+}

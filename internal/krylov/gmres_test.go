@@ -1,0 +1,285 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/sparse"
+)
+
+func wingMatrix(t testing.TB, nx, ny, nz, b int, seed uint64) *sparse.BCSR {
+	t.Helper()
+	m, err := mesh.GenerateWing(mesh.DefaultWingSpec(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, b)
+	a.FillDeterministic(seed)
+	return a
+}
+
+func residualNorm(a Operator, b, x []float64) float64 {
+	r := make([]float64, len(b))
+	a.Apply(x, r)
+	var s float64
+	for i := range r {
+		d := b[i] - r[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestGMRESSolvesDiagonal(t *testing.T) {
+	n := 50
+	d := make([]float64, n)
+	b := make([]float64, n)
+	for i := range d {
+		d[i] = float64(i%7) + 1
+		b[i] = float64(i) - 20
+	}
+	a := OperatorFunc(func(x, y []float64) {
+		for i := range x {
+			y[i] = d[i] * x[i]
+		}
+	})
+	x := make([]float64, n)
+	st, err := Solve(a, nil, b, x, Options{Restart: 30, MaxIters: 200, RelTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-b[i]/d[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], b[i]/d[i])
+		}
+	}
+}
+
+func TestGMRESWithILUPreconditioner(t *testing.T) {
+	a := wingMatrix(t, 6, 5, 4, 4, 21)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.13)
+	}
+	f, err := ilu.Factor(a, ilu.Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := OperatorFunc(a.MulVec)
+	pc := PrecondFunc(f.Solve)
+
+	xNoPC := make([]float64, n)
+	stNo, err := Solve(op, nil, b, xNoPC, Options{Restart: 20, MaxIters: 400, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPC := make([]float64, n)
+	stPC, err := Solve(op, pc, b, xPC, Options{Restart: 20, MaxIters: 400, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stPC.Converged {
+		t.Fatalf("preconditioned solve failed: %+v", stPC)
+	}
+	if stPC.Iterations >= stNo.Iterations {
+		t.Errorf("ILU preconditioning did not reduce iterations: %d vs %d", stPC.Iterations, stNo.Iterations)
+	}
+	if rn := residualNorm(op, b, xPC); rn > 1e-6*st0norm(b) {
+		t.Errorf("true residual %g too large", rn)
+	}
+}
+
+func st0norm(b []float64) float64 { return sparse.Norm2(b) }
+
+func TestGMRESRestartedConverges(t *testing.T) {
+	// Tiny restart forces multiple cycles but must still converge on a
+	// well-conditioned system.
+	a := wingMatrix(t, 5, 4, 4, 1, 31)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	st, err := Solve(OperatorFunc(a.MulVec), nil, b, x, Options{Restart: 5, MaxIters: 500, RelTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("restarted GMRES failed: %+v", st)
+	}
+	if st.Restarts == 0 {
+		t.Error("expected at least one restart with m=5")
+	}
+	if rn := residualNorm(OperatorFunc(a.MulVec), b, x); rn > 1e-6*sparse.Norm2(b) {
+		t.Errorf("true residual %g", rn)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := wingMatrix(t, 4, 3, 3, 1, 41)
+	n := a.N()
+	x := make([]float64, n)
+	st, err := Solve(OperatorFunc(a.MulVec), nil, make([]float64, n), x, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 0 {
+		t.Errorf("zero RHS should converge immediately: %+v", st)
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatal("x perturbed on zero RHS")
+		}
+	}
+}
+
+func TestGMRESNonzeroInitialGuess(t *testing.T) {
+	a := wingMatrix(t, 4, 4, 3, 2, 51)
+	n := a.N()
+	b := make([]float64, n)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Cos(float64(i) * 0.21)
+	}
+	a.MulVec(want, b)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = want[i] + 0.01*math.Sin(float64(i))
+	}
+	st, err := Solve(OperatorFunc(a.MulVec), nil, b, x, Options{Restart: 25, MaxIters: 300, RelTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGMRESHonorsMaxIters(t *testing.T) {
+	a := wingMatrix(t, 6, 5, 4, 4, 61)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	st, err := Solve(OperatorFunc(a.MulVec), nil, b, x, Options{Restart: 10, MaxIters: 3, RelTol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 3 {
+		t.Errorf("iterations %d exceed cap 3", st.Iterations)
+	}
+	if st.Converged {
+		t.Error("should not converge to 1e-14 in 3 iterations")
+	}
+}
+
+func TestGMRESInputValidation(t *testing.T) {
+	a := OperatorFunc(func(x, y []float64) { copy(y, x) })
+	if _, err := Solve(a, nil, make([]float64, 3), make([]float64, 4), DefaultOptions()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Solve(a, nil, make([]float64, 3), make([]float64, 3), Options{Restart: 0, MaxIters: 5}); err == nil {
+		t.Error("restart 0 accepted")
+	}
+}
+
+func TestGMRESStatsAccounting(t *testing.T) {
+	a := wingMatrix(t, 4, 4, 3, 1, 71)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	st, err := Solve(OperatorFunc(a.MulVec), nil, b, x, Options{Restart: 15, MaxIters: 100, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MatVecs < st.Iterations {
+		t.Errorf("matvecs %d < iterations %d", st.MatVecs, st.Iterations)
+	}
+	if st.PrecondApps < st.Iterations {
+		t.Errorf("precond applies %d < iterations %d", st.PrecondApps, st.Iterations)
+	}
+	if st.InnerProds < st.Iterations {
+		t.Errorf("inner products %d < iterations %d", st.InnerProds, st.Iterations)
+	}
+	if st.InitialNorm <= 0 {
+		t.Error("initial norm not recorded")
+	}
+}
+
+func BenchmarkGMRESILU1Wing(b *testing.B) {
+	a := wingMatrix(b, 10, 8, 7, 4, 81)
+	f, err := ilu.Factor(a, ilu.Options{Level: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.N()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		if _, err := Solve(OperatorFunc(a.MulVec), PrecondFunc(f.Solve), rhs, x,
+			Options{Restart: 20, MaxIters: 60, RelTol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCGSOrthogonalizationConverges(t *testing.T) {
+	a := wingMatrix(t, 6, 5, 4, 4, 91)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.11)
+	}
+	solve := func(orth string) (Stats, []float64) {
+		x := make([]float64, n)
+		st, err := Solve(OperatorFunc(a.MulVec), nil, b, x,
+			Options{Restart: 25, MaxIters: 400, RelTol: 1e-9, Orthogonalization: orth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, x
+	}
+	stM, xM := solve("mgs")
+	stC, xC := solve("cgs")
+	if !stM.Converged || !stC.Converged {
+		t.Fatalf("not converged: mgs=%v cgs=%v", stM.Converged, stC.Converged)
+	}
+	var worst float64
+	for i := range xM {
+		if d := math.Abs(xM[i] - xC[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("CGS and MGS solutions differ by %g", worst)
+	}
+	// CGS batches the projections: far fewer reductions.
+	if stC.InnerProds >= stM.InnerProds {
+		t.Errorf("CGS inner products %d not below MGS %d", stC.InnerProds, stM.InnerProds)
+	}
+	if _, err := Solve(OperatorFunc(a.MulVec), nil, b, make([]float64, n),
+		Options{Restart: 5, MaxIters: 5, Orthogonalization: "householder"}); err == nil {
+		t.Error("unknown orthogonalization accepted")
+	}
+}

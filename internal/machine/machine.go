@@ -1,0 +1,251 @@
+// Package machine simulates a distributed-memory parallel machine for
+// performance modeling: P ranks with virtual clocks, advanced by modeled
+// compute costs (roofline over a perfmodel.Profile), nearest-neighbor
+// exchanges, and global reductions. Numerical results come from the real
+// solver running deterministically; only *time* is simulated, which is
+// what lets the repo reproduce 1024-node ASCI Red scaling studies
+// (Tables 3-5, Figures 1, 2, 4) on a single host.
+//
+// The accounting mirrors the paper's taxonomy: wait time accumulated at
+// communication events because ranks arrive at different times is the
+// paper's "implicit synchronization"; transfer time at halo exchanges is
+// "ghost point scatter"; tree-reduction time is "global reduction".
+package machine
+
+import (
+	"fmt"
+
+	"petscfun3d/internal/perfmodel"
+)
+
+// Machine is a virtual distributed machine of P ranks.
+type Machine struct {
+	P       int
+	Profile perfmodel.Profile
+
+	clock []float64 // per-rank virtual time, seconds
+
+	computeTime []float64 // local work
+	waitTime    []float64 // implicit synchronization (load-imbalance wait)
+	scatterTime []float64 // nearest-neighbor transfer
+	reduceTime  []float64 // global reductions
+
+	flops     []float64 // per-rank flop count, for Gflop/s ratings
+	bytesSent []float64 // per-rank bytes sent in exchanges
+
+	curTag string
+	tagSec map[string]float64 // total charged seconds (all ranks) per tag
+}
+
+// New creates a machine of p ranks with the given node profile.
+func New(p int, prof perfmodel.Profile) (*Machine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("machine: need at least one rank, got %d", p)
+	}
+	return &Machine{
+		P:           p,
+		Profile:     prof,
+		clock:       make([]float64, p),
+		computeTime: make([]float64, p),
+		waitTime:    make([]float64, p),
+		scatterTime: make([]float64, p),
+		reduceTime:  make([]float64, p),
+		flops:       make([]float64, p),
+		bytesSent:   make([]float64, p),
+		tagSec:      make(map[string]float64),
+	}, nil
+}
+
+// Compute advances rank's clock by the roofline time of a kernel doing
+// flops floating-point operations over bytes of memory traffic at
+// sustained rate (0 = profile peak).
+func (m *Machine) Compute(rank int, flops, bytes int64, rate float64) {
+	t := m.Profile.ComputeTime(flops, bytes, rate)
+	m.clock[rank] += t
+	m.computeTime[rank] += t
+	m.flops[rank] += float64(flops)
+	m.tag(t)
+}
+
+// ComputeTimeDirect advances rank's clock by an explicit duration of
+// local work (for costs computed outside the roofline model).
+func (m *Machine) ComputeTimeDirect(rank int, seconds float64, flops int64) {
+	m.clock[rank] += seconds
+	m.computeTime[rank] += seconds
+	m.flops[rank] += float64(flops)
+	m.tag(seconds)
+}
+
+// Exchange performs a nearest-neighbor halo exchange: partners[r] lists
+// the ranks r communicates with, sendBytes[r][i] the bytes r sends to
+// partners[r][i]. Every rank first waits for all its partners to arrive
+// (the wait is charged as implicit synchronization), then pays latency
+// per message plus volume over the node's network bandwidth (charged as
+// scatter time).
+func (m *Machine) Exchange(partners [][]int, sendBytes [][]int64) error {
+	if len(partners) != m.P || len(sendBytes) != m.P {
+		return fmt.Errorf("machine: exchange arguments must cover all %d ranks", m.P)
+	}
+	// Receive volumes: bytes sent to r from each partner.
+	recvBytes := make([]int64, m.P)
+	for r := 0; r < m.P; r++ {
+		if len(partners[r]) != len(sendBytes[r]) {
+			return fmt.Errorf("machine: rank %d has %d partners but %d byte counts", r, len(partners[r]), len(sendBytes[r]))
+		}
+		for i, p := range partners[r] {
+			if p < 0 || p >= m.P || p == r {
+				return fmt.Errorf("machine: rank %d has invalid partner %d", r, p)
+			}
+			recvBytes[p] += sendBytes[r][i]
+		}
+	}
+	// Arrival: wait for the latest partner.
+	arrive := make([]float64, m.P)
+	for r := 0; r < m.P; r++ {
+		a := m.clock[r]
+		for _, p := range partners[r] {
+			if m.clock[p] > a {
+				a = m.clock[p]
+			}
+		}
+		arrive[r] = a
+	}
+	for r := 0; r < m.P; r++ {
+		wait := arrive[r] - m.clock[r]
+		m.waitTime[r] += wait
+		var sent int64
+		for _, b := range sendBytes[r] {
+			sent += b
+		}
+		xfer := float64(len(partners[r]))*m.Profile.NetLatency +
+			float64(sent+recvBytes[r])/m.Profile.NetBW
+		m.clock[r] = arrive[r] + xfer
+		m.scatterTime[r] += xfer
+		m.bytesSent[r] += float64(sent)
+		m.tag(wait + xfer)
+	}
+	return nil
+}
+
+// AllReduce performs a global reduction of words scalars: all ranks
+// synchronize to the latest arrival (wait charged as implicit
+// synchronization) and then pay the tree-reduction cost (charged as
+// global reduction time).
+func (m *Machine) AllReduce(words int) {
+	latest := m.clock[0]
+	for _, c := range m.clock {
+		if c > latest {
+			latest = c
+		}
+	}
+	cost := m.Profile.ReduceTime(m.P)
+	if words > 1 {
+		cost += float64(words-1) * 8 / m.Profile.NetBW
+	}
+	for r := 0; r < m.P; r++ {
+		m.tag(latest - m.clock[r] + cost)
+		m.waitTime[r] += latest - m.clock[r]
+		m.clock[r] = latest + cost
+		m.reduceTime[r] += cost
+	}
+}
+
+// SetTag directs subsequent charges into a named accounting bucket
+// ("" disables tagging). Buckets let callers split the modeled time by
+// algorithm phase — e.g. Table 2's linear-solve vs. overall times.
+func (m *Machine) SetTag(tag string) { m.curTag = tag }
+
+// TagSeconds returns the mean per-rank seconds charged under tag.
+func (m *Machine) TagSeconds(tag string) float64 {
+	return m.tagSec[tag] / float64(m.P)
+}
+
+func (m *Machine) tag(seconds float64) {
+	if m.curTag != "" {
+		m.tagSec[m.curTag] += seconds
+	}
+}
+
+// Elapsed returns the current virtual execution time (latest rank).
+func (m *Machine) Elapsed() float64 {
+	max := m.clock[0]
+	for _, c := range m.clock {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Report summarizes the run in the paper's Table 3 vocabulary.
+type Report struct {
+	Ranks   int
+	Elapsed float64 // seconds (virtual)
+
+	// Mean per-rank seconds by phase.
+	Compute float64
+	Wait    float64 // implicit synchronizations
+	Scatter float64 // ghost point scatters
+	Reduce  float64 // global reductions
+
+	// Percentages of elapsed time (mean rank).
+	PctWait    float64
+	PctScatter float64
+	PctReduce  float64
+
+	TotalFlops     float64
+	Gflops         float64 // aggregate Gflop/s
+	TotalSentBytes float64
+	// EffectiveBandwidth is the application-level per-rank bandwidth
+	// through the scatter phases, bytes/s (Table 3's final column).
+	EffectiveBandwidth float64
+}
+
+// Report computes the summary.
+func (m *Machine) Report() Report {
+	rep := Report{Ranks: m.P, Elapsed: m.Elapsed()}
+	var scatterSec float64
+	for r := 0; r < m.P; r++ {
+		rep.Compute += m.computeTime[r]
+		rep.Wait += m.waitTime[r]
+		rep.Scatter += m.scatterTime[r]
+		rep.Reduce += m.reduceTime[r]
+		rep.TotalFlops += m.flops[r]
+		rep.TotalSentBytes += m.bytesSent[r]
+		scatterSec += m.scatterTime[r]
+	}
+	n := float64(m.P)
+	rep.Compute /= n
+	rep.Wait /= n
+	rep.Scatter /= n
+	rep.Reduce /= n
+	if rep.Elapsed > 0 {
+		rep.PctWait = 100 * rep.Wait / rep.Elapsed
+		rep.PctScatter = 100 * rep.Scatter / rep.Elapsed
+		rep.PctReduce = 100 * rep.Reduce / rep.Elapsed
+		rep.Gflops = rep.TotalFlops / rep.Elapsed / 1e9
+	}
+	if scatterSec > 0 {
+		// Bytes cross the wire twice (send + matching receive): count
+		// sent volume against per-rank scatter seconds.
+		rep.EffectiveBandwidth = 2 * rep.TotalSentBytes / scatterSec
+	}
+	return rep
+}
+
+// Reset clears clocks and counters.
+func (m *Machine) Reset() {
+	for r := 0; r < m.P; r++ {
+		m.clock[r] = 0
+		m.computeTime[r] = 0
+		m.waitTime[r] = 0
+		m.scatterTime[r] = 0
+		m.reduceTime[r] = 0
+		m.flops[r] = 0
+		m.bytesSent[r] = 0
+	}
+	m.curTag = ""
+	for k := range m.tagSec {
+		delete(m.tagSec, k)
+	}
+}

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"petscfun3d/internal/perfmodel"
+)
+
+func prof() perfmodel.Profile {
+	return perfmodel.Profile{
+		Name: "test", PeakFlops: 1e9, StreamBW: 1e8,
+		NetLatency: 1e-5, NetBW: 1e8, ReduceLatency: 1e-6,
+		ProcsPerNode: 1, FluxFlopRate: 5e8,
+	}
+}
+
+func TestNewRejectsZeroRanks(t *testing.T) {
+	if _, err := New(0, prof()); err == nil {
+		t.Error("0 ranks accepted")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m, _ := New(2, prof())
+	m.Compute(0, 1e9, 8, 0) // compute-bound: 1s
+	m.Compute(1, 8, 1e8, 0) // memory-bound: 1s
+	if got := m.Elapsed(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("elapsed = %g, want 1", got)
+	}
+	rep := m.Report()
+	if math.Abs(rep.Compute-1) > 1e-12 {
+		t.Errorf("mean compute = %g, want 1", rep.Compute)
+	}
+	if rep.TotalFlops != 1e9+8 {
+		t.Errorf("flops = %g", rep.TotalFlops)
+	}
+}
+
+func TestAllReduceSynchronizes(t *testing.T) {
+	m, _ := New(4, prof())
+	m.Compute(2, 2e9, 0, 0) // rank 2 takes 2s, others 0
+	m.AllReduce(1)
+	rep := m.Report()
+	// Ranks 0,1,3 waited 2s each; rank 2 waited 0: mean 1.5s.
+	if math.Abs(rep.Wait-1.5) > 1e-9 {
+		t.Errorf("mean wait = %g, want 1.5", rep.Wait)
+	}
+	if rep.Reduce <= 0 {
+		t.Error("no reduce time charged")
+	}
+	// All clocks equal after the reduction.
+	for r := 1; r < 4; r++ {
+		if m.clock[r] != m.clock[0] {
+			t.Error("clocks not synchronized after AllReduce")
+		}
+	}
+}
+
+func TestExchangeNeighborSemantics(t *testing.T) {
+	// Ring of 4: rank 1 is slow; only its neighbors 0 and 2 wait, rank 3
+	// does not (no global synchronization at a halo exchange).
+	m, _ := New(4, prof())
+	m.Compute(1, 1e9, 0, 0) // 1s
+	partners := [][]int{{1, 3}, {0, 2}, {1, 3}, {2, 0}}
+	bytes := [][]int64{{100, 100}, {100, 100}, {100, 100}, {100, 100}}
+	if err := m.Exchange(partners, bytes); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if rep.Wait <= 0 {
+		t.Error("no implicit-sync wait recorded despite imbalance")
+	}
+	// Rank 3's wait must be zero: its partners (0 and 2) had clock 0 at
+	// arrival time.
+	if m.waitTime[3] != 0 {
+		t.Errorf("rank 3 waited %g; neighbor semantics broken", m.waitTime[3])
+	}
+	if m.waitTime[0] <= 0 || m.waitTime[2] <= 0 {
+		t.Error("neighbors of the slow rank did not wait")
+	}
+	if rep.Scatter <= 0 || rep.TotalSentBytes != 800 {
+		t.Errorf("scatter accounting wrong: %+v", rep)
+	}
+	if rep.EffectiveBandwidth <= 0 {
+		t.Error("effective bandwidth not computed")
+	}
+}
+
+func TestExchangeValidation(t *testing.T) {
+	m, _ := New(2, prof())
+	if err := m.Exchange([][]int{{1}}, [][]int64{{1}}); err == nil {
+		t.Error("short partner list accepted")
+	}
+	if err := m.Exchange([][]int{{1}, {0}}, [][]int64{{1, 2}, {1}}); err == nil {
+		t.Error("mismatched byte counts accepted")
+	}
+	if err := m.Exchange([][]int{{0}, {0}}, [][]int64{{1}, {1}}); err == nil {
+		t.Error("self-partner accepted")
+	}
+	if err := m.Exchange([][]int{{5}, {0}}, [][]int64{{1}, {1}}); err == nil {
+		t.Error("out-of-range partner accepted")
+	}
+}
+
+func TestPerfectScalingWhenBalanced(t *testing.T) {
+	// A balanced, communication-free workload must scale perfectly.
+	elapsed := func(p int) float64 {
+		m, _ := New(p, prof())
+		total := int64(8e9)
+		for r := 0; r < p; r++ {
+			m.Compute(r, total/int64(p), 0, 0)
+		}
+		return m.Elapsed()
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	if math.Abs(t1/t8-8) > 1e-9 {
+		t.Errorf("speedup = %g, want 8", t1/t8)
+	}
+}
+
+func TestImbalanceDegradesScaling(t *testing.T) {
+	// 10% overload on one rank must stretch elapsed time by ~10% once a
+	// reduction synchronizes the ranks.
+	m, _ := New(8, prof())
+	for r := 0; r < 8; r++ {
+		w := int64(1e9)
+		if r == 0 {
+			w += 1e8
+		}
+		m.Compute(r, w, 0, 0)
+	}
+	m.AllReduce(1)
+	if m.Elapsed() < 1.1 {
+		t.Errorf("elapsed %g < 1.1 despite overload", m.Elapsed())
+	}
+	rep := m.Report()
+	if rep.PctWait <= 0 {
+		t.Error("no wait percentage under imbalance")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	m, _ := New(2, prof())
+	m.Compute(0, 1e9, 0, 0)
+	m.AllReduce(1)
+	m.Reset()
+	if m.Elapsed() != 0 {
+		t.Error("Reset left clock state")
+	}
+	rep := m.Report()
+	if rep.Compute != 0 || rep.Wait != 0 || rep.TotalFlops != 0 {
+		t.Error("Reset left counters")
+	}
+}
+
+func TestComputeTimeDirect(t *testing.T) {
+	m, _ := New(1, prof())
+	m.ComputeTimeDirect(0, 2.5, 1000)
+	if m.Elapsed() != 2.5 {
+		t.Errorf("elapsed = %g", m.Elapsed())
+	}
+	if m.Report().TotalFlops != 1000 {
+		t.Error("flops not recorded")
+	}
+}
+
+func TestGflopsRating(t *testing.T) {
+	m, _ := New(4, prof())
+	for r := 0; r < 4; r++ {
+		m.Compute(r, 1e9, 0, 0) // 1s each at 1 Gflop/s
+	}
+	rep := m.Report()
+	if math.Abs(rep.Gflops-4) > 1e-9 {
+		t.Errorf("aggregate Gflop/s = %g, want 4", rep.Gflops)
+	}
+}
+
+func TestTagAccounting(t *testing.T) {
+	m, _ := New(2, prof())
+	m.SetTag("linear")
+	m.Compute(0, 1e9, 0, 0) // 1s on rank 0
+	m.Compute(1, 1e9, 0, 0) // 1s on rank 1
+	m.SetTag("")
+	m.Compute(0, 1e9, 0, 0) // untagged
+	if got := m.TagSeconds("linear"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TagSeconds(linear) = %g, want 1 (mean per rank)", got)
+	}
+	if m.TagSeconds("nonexistent") != 0 {
+		t.Error("unknown tag should read 0")
+	}
+	// Waits at a tagged reduction are charged to the tag.
+	m.SetTag("linear")
+	m.AllReduce(1)
+	if m.TagSeconds("linear") <= 1 {
+		t.Error("reduction wait not charged to tag")
+	}
+	m.Reset()
+	if m.TagSeconds("linear") != 0 {
+		t.Error("Reset did not clear tags")
+	}
+}

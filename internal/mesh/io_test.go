@@ -1,0 +1,81 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeshRoundTrip(t *testing.T) {
+	orig := testWing(t, 6, 5, 4)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != orig.NumVertices() || got.NumTets() != orig.NumTets() {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumTets(), orig.NumVertices(), orig.NumTets())
+	}
+	if got.NumEdges() != orig.NumEdges() {
+		t.Errorf("edges changed: %d vs %d", got.NumEdges(), orig.NumEdges())
+	}
+	for v := 0; v < orig.NumVertices(); v++ {
+		if got.Coords[v] != orig.Coords[v] {
+			t.Fatalf("coords changed at %d", v)
+		}
+		if got.BKind[v] != orig.BKind[v] {
+			t.Fatalf("boundary kind changed at %d", v)
+		}
+		if got.Boundary[v] != orig.Boundary[v] {
+			t.Fatalf("boundary flag changed at %d", v)
+		}
+	}
+	// Rebuilt boundary normals roughly agree with the generator's (both
+	// outward unit vectors; face-weighted vs lattice-assigned, so allow
+	// generous angular tolerance).
+	for v := 0; v < orig.NumVertices(); v++ {
+		if !orig.Boundary[v] {
+			continue
+		}
+		n1, n2 := orig.BNormal[v], got.BNormal[v]
+		dot := n1.X*n2.X + n1.Y*n2.Y + n1.Z*n2.Z
+		if dot <= 0 {
+			t.Fatalf("vertex %d: rebuilt normal points away from original (dot %g)", v, dot)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrongheader 1\n",
+		"fun3dmesh 1\nvertices -3\n",
+		"fun3dmesh 1\nvertices 1\n0 0 0 9\ntets 1\n0 0 0 0\n",
+		"fun3dmesh 1\nvertices 2\n0 0 0 0\n1 0 0 0\ntets 1\n0 1 2 3\n",
+		"fun3dmesh 1\nvertices 1\n0 0 zebra 0\ntets 1\n0 0 0 0\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRebuildBoundaryNormalsUnitLength(t *testing.T) {
+	m := testWing(t, 5, 5, 4)
+	m.RebuildBoundaryNormals()
+	for v := 0; v < m.NumVertices(); v++ {
+		n := m.BNormal[v]
+		l := math.Sqrt(n.X*n.X + n.Y*n.Y + n.Z*n.Z)
+		if m.Boundary[v] {
+			if math.Abs(l-1) > 1e-12 {
+				t.Fatalf("boundary vertex %d normal length %g", v, l)
+			}
+		}
+	}
+}

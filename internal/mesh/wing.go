@@ -1,0 +1,161 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// WingSpec describes the synthetic swept-wing volume meshed by
+// GenerateWing. The volume is a lattice of Nx×Ny×Nz vertices mapped onto a
+// tapered, swept wing-like region (chordwise x, spanwise y, normal z),
+// each hexahedral cell split into six tetrahedra. This stands in for the
+// NASA ONERA M6 wing meshes of the paper: the performance studies depend
+// only on the mesh's graph statistics (average degree ≈ 14, 3D
+// surface-to-volume scaling), which the lattice-split-to-tets mesh shares.
+type WingSpec struct {
+	Nx, Ny, Nz int     // lattice dimensions (vertices per axis)
+	Chord      float64 // root chord length
+	Span       float64 // wing span
+	Thickness  float64 // maximum thickness of the volume
+	Taper      float64 // tip chord / root chord, in (0, 1]
+	Sweep      float64 // leading-edge sweep as x-offset per unit span
+}
+
+// DefaultWingSpec returns a specification with geometry resembling the
+// ONERA M6 planform (taper 0.56, 30 degrees sweep).
+func DefaultWingSpec(nx, ny, nz int) WingSpec {
+	return WingSpec{
+		Nx: nx, Ny: ny, Nz: nz,
+		Chord:     1.0,
+		Span:      1.5,
+		Thickness: 0.35,
+		Taper:     0.56,
+		Sweep:     0.58, // tan(30 degrees)
+	}
+}
+
+// GenerateWing builds a tetrahedral mesh of the wing volume described by
+// spec. The mesh has spec.Nx*spec.Ny*spec.Nz vertices in natural
+// (lexicographic i-fastest) order.
+func GenerateWing(spec WingSpec) (*Mesh, error) {
+	nx, ny, nz := spec.Nx, spec.Ny, spec.Nz
+	if nx < 2 || ny < 2 || nz < 2 {
+		return nil, fmt.Errorf("mesh: wing lattice must be at least 2 in each dimension, got %dx%dx%d", nx, ny, nz)
+	}
+	if spec.Taper <= 0 || spec.Taper > 1 {
+		return nil, fmt.Errorf("mesh: taper %g outside (0,1]", spec.Taper)
+	}
+	nv := nx * ny * nz
+	m := &Mesh{
+		Coords:   make([]Vec3, nv),
+		Boundary: make([]bool, nv),
+		BKind:    make([]BoundaryKind, nv),
+		BNormal:  make([]Vec3, nv),
+	}
+	idx := func(i, j, k int) int32 { return int32(i + nx*(j+ny*k)) }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				s := float64(j) / float64(ny-1) // spanwise fraction
+				c := spec.Chord * (1 - (1-spec.Taper)*s)
+				xi := float64(i) / float64(nx-1)
+				zeta := float64(k)/float64(nz-1) - 0.5
+				// Thickness envelope: parabolic chordwise profile so the
+				// volume looks like a symmetric airfoil extrusion.
+				t := spec.Thickness * (0.2 + 0.8*4*xi*(1-xi))
+				v := idx(i, j, k)
+				m.Coords[v] = Vec3{
+					X: spec.Sweep*s*spec.Span + xi*c,
+					Y: s * spec.Span,
+					Z: zeta * t,
+				}
+				if i == 0 || i == nx-1 || j == 0 || j == ny-1 || k == 0 || k == nz-1 {
+					m.Boundary[v] = true
+					// Flow enters through the chordwise minimum face and
+					// leaves through the maximum; all other faces are slip
+					// walls. Inflow/outflow classification wins at edges
+					// and corners so the flow problem is well posed.
+					var n Vec3
+					switch {
+					case i == 0:
+						m.BKind[v] = BInflow
+						n = Vec3{-1, 0, 0}
+					case i == nx-1:
+						m.BKind[v] = BOutflow
+						n = Vec3{1, 0, 0}
+					default:
+						m.BKind[v] = BWall
+						if j == 0 {
+							n.Y = -1
+						}
+						if j == ny-1 {
+							n.Y = 1
+						}
+						if k == 0 {
+							n.Z = -1
+						}
+						if k == nz-1 {
+							n.Z = 1
+						}
+						// Normalize combined edge/corner normals.
+						l := math.Sqrt(n.X*n.X + n.Y*n.Y + n.Z*n.Z)
+						if l > 0 {
+							n.X /= l
+							n.Y /= l
+							n.Z /= l
+						}
+					}
+					m.BNormal[v] = n
+				}
+			}
+		}
+	}
+	// Split every hex cell into six tetrahedra around the main diagonal
+	// (v0, v6). This decomposition is conforming across neighboring cells.
+	m.Tets = make([][4]int32, 0, 6*(nx-1)*(ny-1)*(nz-1))
+	for k := 0; k < nz-1; k++ {
+		for j := 0; j < ny-1; j++ {
+			for i := 0; i < nx-1; i++ {
+				v := [8]int32{
+					idx(i, j, k), idx(i+1, j, k), idx(i+1, j+1, k), idx(i, j+1, k),
+					idx(i, j, k+1), idx(i+1, j, k+1), idx(i+1, j+1, k+1), idx(i, j+1, k+1),
+				}
+				m.Tets = append(m.Tets,
+					[4]int32{v[0], v[1], v[2], v[6]},
+					[4]int32{v[0], v[2], v[3], v[6]},
+					[4]int32{v[0], v[3], v[7], v[6]},
+					[4]int32{v[0], v[7], v[4], v[6]},
+					[4]int32{v[0], v[4], v[5], v[6]},
+					[4]int32{v[0], v[5], v[1], v[6]},
+				)
+			}
+		}
+	}
+	m.buildConnectivity()
+	return m, nil
+}
+
+// GenerateWingN builds a wing mesh with approximately target vertices,
+// choosing lattice dimensions with the roughly 2:1.3:1 aspect used by the
+// default spec. The actual vertex count is within a modest factor of the
+// request; callers needing the exact figure should use GenerateWing.
+func GenerateWingN(target int) (*Mesh, error) {
+	if target < 8 {
+		return nil, fmt.Errorf("mesh: target vertex count %d too small", target)
+	}
+	// nx:ny:nz = 2:1.3:1 => nx*ny*nz = 2.6 u^3 with nz = u.
+	u := math.Cbrt(float64(target) / 2.6)
+	nz := int(math.Round(u))
+	if nz < 2 {
+		nz = 2
+	}
+	ny := int(math.Round(1.3 * u))
+	if ny < 2 {
+		ny = 2
+	}
+	nx := int(math.Round(2 * u))
+	if nx < 2 {
+		nx = 2
+	}
+	return GenerateWing(DefaultWingSpec(nx, ny, nz))
+}

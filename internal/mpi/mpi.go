@@ -1,0 +1,160 @@
+// Package mpi is a small message-passing runtime over goroutines and
+// channels — the repository's executable stand-in for MPI. Where
+// internal/machine *models* a distributed machine's time, this package
+// *runs* rank programs concurrently with real point-to-point messages,
+// reductions, and barriers, so the domain-decomposed algorithms can be
+// validated end-to-end against their sequential counterparts
+// (internal/dist builds a distributed solver on top).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is a tagged payload between two ranks.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// Comm is one rank's endpoint of a communicator.
+type Comm struct {
+	rank int
+	size int
+	w    *world
+}
+
+// world holds the shared channel fabric.
+type world struct {
+	size int
+	// chans[from*size+to] carries messages from->to.
+	chans []chan message
+	// reduction fabric: one slot per rank, guarded rendezvous.
+	redMu   sync.Mutex
+	redCond *sync.Cond
+	redVals []float64
+	redIn   int
+	redOut  int
+	redRes  float64
+	redGen  int
+}
+
+// Run executes f on `size` ranks concurrently and waits for all of them.
+// The first non-nil error is returned (all ranks still run to
+// completion; a rank erroring early while others wait on communication
+// from it will deadlock, as real MPI does — keep rank programs SPMD).
+func Run(size int, f func(c *Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: size %d < 1", size)
+	}
+	w := &world{size: size}
+	w.redCond = sync.NewCond(&w.redMu)
+	w.redVals = make([]float64, size)
+	w.chans = make([]chan message, size*size)
+	for i := range w.chans {
+		// Buffered so symmetric neighbor exchanges (everyone sends, then
+		// everyone receives) cannot deadlock.
+		w.chans[i] = make(chan message, 8)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = f(&Comm{rank: rank, size: size, w: w})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers a copy of data to rank `to` with the given tag.
+func (c *Comm) Send(to, tag int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.w.chans[c.rank*c.size+to] <- message{tag: tag, data: cp}
+}
+
+// Recv receives the next message from rank `from`; the tag must match
+// (messages between a pair are ordered, so SPMD programs with matching
+// send/recv sequences never mismatch).
+func (c *Comm) Recv(from, tag int) ([]float64, error) {
+	m := <-c.w.chans[from*c.size+c.rank]
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag)
+	}
+	return m.data, nil
+}
+
+// AllReduceSum returns the sum of x across all ranks (a synchronizing
+// collective).
+func (c *Comm) AllReduceSum(x float64) float64 {
+	return c.allReduce(x, func(vals []float64) float64 {
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	})
+}
+
+// AllReduceMax returns the maximum of x across all ranks.
+func (c *Comm) AllReduceMax(x float64) float64 {
+	return c.allReduce(x, func(vals []float64) float64 {
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.allReduce(0, func([]float64) float64 { return 0 }) }
+
+// allReduce is a generation-counted rendezvous: every rank deposits a
+// value; the last one in computes the result; everyone leaves together.
+func (c *Comm) allReduce(x float64, combine func([]float64) float64) float64 {
+	w := c.w
+	w.redMu.Lock()
+	defer w.redMu.Unlock()
+	// Wait for the previous reduction to fully drain.
+	for w.redOut > 0 {
+		w.redCond.Wait()
+	}
+	gen := w.redGen
+	w.redVals[c.rank] = x
+	w.redIn++
+	if w.redIn == w.size {
+		w.redRes = combine(w.redVals)
+		w.redIn = 0
+		w.redOut = w.size
+		w.redGen++
+		w.redCond.Broadcast()
+	} else {
+		for w.redGen == gen {
+			w.redCond.Wait()
+		}
+	}
+	res := w.redRes
+	w.redOut--
+	if w.redOut == 0 {
+		w.redCond.Broadcast()
+	}
+	return res
+}

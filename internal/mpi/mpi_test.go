@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRunRejectsZeroSize(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestRankAndSize(t *testing.T) {
+	seen := make([]bool, 5)
+	err := Run(5, func(c *Comm) error {
+		if c.Size() != 5 {
+			return fmt.Errorf("size %d", c.Size())
+		}
+		seen[c.Rank()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", r)
+		}
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.Send(next, 7, []float64{float64(c.Rank())})
+		got, err := c.Recv(prev, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != float64(prev) {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), got, prev)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the receiver
+			c.Barrier()
+			return nil
+		}
+		c.Barrier()
+		got, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			return fmt.Errorf("send aliased caller buffer: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMismatch(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1})
+			return nil
+		}
+		if _, err := c.Recv(0, 4); err == nil {
+			return fmt.Errorf("tag mismatch not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSumAndMax(t *testing.T) {
+	const n = 7
+	err := Run(n, func(c *Comm) error {
+		s := c.AllReduceSum(float64(c.Rank() + 1))
+		if s != n*(n+1)/2 {
+			return fmt.Errorf("sum %g", s)
+		}
+		m := c.AllReduceMax(float64(c.Rank()))
+		if m != n-1 {
+			return fmt.Errorf("max %g", m)
+		}
+		// Repeated reductions must not interfere.
+		for i := 0; i < 20; i++ {
+			got := c.AllReduceSum(1)
+			if got != n {
+				return fmt.Errorf("iteration %d: sum %g", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceFloatAccuracy(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		x := 0.1 * float64(c.Rank()+1)
+		s := c.AllReduceSum(x)
+		if math.Abs(s-1.0) > 1e-12 {
+			return fmt.Errorf("sum %g", s)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, all pre-barrier sends must be receivable.
+	err := Run(3, func(c *Comm) error {
+		for to := 0; to < 3; to++ {
+			if to != c.Rank() {
+				c.Send(to, 1, []float64{float64(c.Rank())})
+			}
+		}
+		c.Barrier()
+		for from := 0; from < 3; from++ {
+			if from == c.Rank() {
+				continue
+			}
+			got, err := c.Recv(from, 1)
+			if err != nil {
+				return err
+			}
+			if got[0] != float64(from) {
+				return fmt.Errorf("got %v from %d", got, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("error not propagated: %v", err)
+	}
+}

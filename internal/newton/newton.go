@@ -1,0 +1,301 @@
+// Package newton implements the pseudo-transient Newton-Krylov (ψNK)
+// solver that drives the application to steady state: local pseudo-
+// timesteps grown by the switched evolution/relaxation (SER) power law on
+// the CFL number, an inexact Newton correction solved by preconditioned
+// GMRES with a matrix-free Jacobian-vector product, a lagged first-order
+// analytical preconditioner Jacobian, and optional discretization-order
+// continuation (first-order flux early, second-order after a residual
+// reduction), exactly the tuning knobs catalogued in section 2.4 of the
+// paper.
+package newton
+
+import (
+	"fmt"
+	"math"
+
+	"petscfun3d/internal/euler"
+	"petscfun3d/internal/krylov"
+	"petscfun3d/internal/sparse"
+)
+
+// Options are the ψNKS algorithmic parameters (section 2.4).
+type Options struct {
+	// CFL0 is the initial CFL number (Figure 5 sweeps it).
+	CFL0 float64
+	// SERExponent is the power p of the SER law
+	// CFL_l = CFL0 (||f0||/||f_{l-1}||)^p; near 1, damped to 0.75 for
+	// shocked flows, up to 1.5 for first-order discretizations.
+	SERExponent float64
+	// CFLMax caps the CFL growth (the paper lets it reach ~1e5).
+	CFLMax float64
+	// MaxSteps bounds the pseudo-timesteps.
+	MaxSteps int
+	// RelTol is the required residual reduction ||f||/||f0||.
+	RelTol float64
+	// Krylov configures the inner GMRES solves.
+	Krylov krylov.Options
+	// JacobianLag refreshes the preconditioner Jacobian every lag steps
+	// (1 = every step).
+	JacobianLag int
+	// SwitchOrderAt switches the flux evaluation from first to second
+	// order once ||f||/||f0|| falls below it; 0 disables switching (the
+	// active discretization is used throughout).
+	SwitchOrderAt float64
+	// LineSearch enables backtracking on residual increase.
+	LineSearch bool
+	// AssembledOperator applies the assembled (first-order,
+	// time-augmented) Jacobian in the Krylov solve instead of the
+	// matrix-free finite-difference product. The paper's implementation
+	// is matrix-free; the assembled option trades flux evaluations for
+	// matrix storage and is exact only for first-order discretizations.
+	AssembledOperator bool
+}
+
+// DefaultOptions returns settings that converge the incompressible wing
+// problem robustly.
+func DefaultOptions() Options {
+	return Options{
+		CFL0:        10,
+		SERExponent: 1.0,
+		CFLMax:      1e5,
+		MaxSteps:    100,
+		RelTol:      1e-8,
+		Krylov:      krylov.Options{Restart: 20, MaxIters: 40, RelTol: 1e-2},
+		JacobianLag: 1,
+		LineSearch:  true,
+	}
+}
+
+// PCFactory builds a preconditioner from the (time-augmented) Jacobian.
+type PCFactory func(a *sparse.BCSR) (krylov.Preconditioner, error)
+
+// Hooks lets a caller observe and wrap the solver's numerical phases —
+// the attachment point for the virtual machine's cost accounting. All
+// fields are optional.
+type Hooks struct {
+	// AfterResidual fires after every direct residual evaluation in the
+	// Newton loop (initial evaluation, line-search trials).
+	AfterResidual func()
+	// AfterJacobian fires after each preconditioner Jacobian refresh
+	// (assembly + factorization).
+	AfterJacobian func()
+	// WrapOperator wraps the matrix-free Jacobian operator handed to
+	// GMRES (each Apply is one matvec: halo exchange + flux evaluation).
+	WrapOperator func(krylov.Operator) krylov.Operator
+	// WrapPreconditioner wraps the preconditioner handed to GMRES.
+	WrapPreconditioner func(krylov.Preconditioner) krylov.Preconditioner
+}
+
+// Step records one pseudo-timestep for convergence histories (Figure 5)
+// and efficiency decompositions (Table 3).
+type Step struct {
+	Index     int
+	Rnorm     float64
+	CFL       float64
+	LinearIts int
+	FluxEvals int
+	Order     int
+}
+
+// Result is the outcome of a steady-state solve.
+type Result struct {
+	Steps          []Step
+	Converged      bool
+	FinalRnorm     float64
+	InitialRnorm   float64
+	TotalLinearIts int
+	TotalFluxEvals int
+}
+
+// Solver drives a discretization to steady state.
+type Solver struct {
+	// Disc evaluates the operative residual (its Opts.Order is the
+	// "current" discretization order; order continuation switches to
+	// Disc2).
+	Disc *euler.Discretization
+	// Disc2, when non-nil, is the second-order discretization activated
+	// by Options.SwitchOrderAt.
+	Disc2 *euler.Discretization
+	// PC builds the preconditioner each time the Jacobian is refreshed;
+	// nil means global ILU(0) is a caller bug — supply one.
+	PC   PCFactory
+	Opts Options
+	// Hooks, when non-nil, instruments the solve (see Hooks).
+	Hooks *Hooks
+}
+
+// Solve advances q (in place, interlaced layout) to steady state.
+func (s *Solver) Solve(q []float64) (*Result, error) {
+	if s.PC == nil {
+		return nil, fmt.Errorf("newton: no preconditioner factory")
+	}
+	if s.Opts.CFL0 <= 0 || s.Opts.MaxSteps < 1 {
+		return nil, fmt.Errorf("newton: nonpositive CFL0 or MaxSteps")
+	}
+	d := s.Disc
+	n := d.N()
+	if len(q) != n {
+		return nil, fmt.Errorf("newton: state length %d, want %d", len(q), n)
+	}
+	res := &Result{}
+	r := make([]float64, n)
+	rhs := make([]float64, n)
+	dq := make([]float64, n)
+	qTrial := make([]float64, n)
+	jac := d.JacobianPattern()
+	var pc krylov.Preconditioner
+	fluxEvals := 0
+
+	active := d
+	d.Residual(q, r)
+	fluxEvals++
+	s.fireResidual()
+	r0 := sparse.Norm2(r)
+	if r0 == 0 {
+		res.Converged = true
+		return res, nil
+	}
+	res.InitialRnorm = r0
+	rnorm := r0
+
+	for step := 0; step < s.Opts.MaxSteps; step++ {
+		// Order continuation.
+		if s.Disc2 != nil && active == d && s.Opts.SwitchOrderAt > 0 && rnorm/r0 < s.Opts.SwitchOrderAt {
+			active = s.Disc2
+			active.Residual(q, r)
+			fluxEvals++
+			s.fireResidual()
+			rnorm = sparse.Norm2(r)
+		}
+		// SER: grow the CFL with residual reduction.
+		cfl := s.Opts.CFL0 * math.Pow(r0/rnorm, s.Opts.SERExponent)
+		if cfl > s.Opts.CFLMax {
+			cfl = s.Opts.CFLMax
+		}
+		// Pseudo-time augmentation: V/Δt = TimeScales/CFL per vertex.
+		ts := d.TimeScales(q)
+		// Preconditioner from the lagged first-order Jacobian.
+		if pc == nil || (s.Opts.JacobianLag > 0 && step%s.Opts.JacobianLag == 0) {
+			if err := d.AssembleJacobian(q, jac); err != nil {
+				return nil, err
+			}
+			addTimeDiagonal(jac, ts, cfl)
+			var err error
+			pc, err = s.PC(jac)
+			if err != nil {
+				return nil, err
+			}
+			if s.Hooks != nil && s.Hooks.AfterJacobian != nil {
+				s.Hooks.AfterJacobian()
+			}
+		}
+		// Matrix-free operator: Jv = (R(q+εv) − R(q))/ε + (V/Δt) v.
+		stepFlux := 0
+		assembled := krylov.OperatorFunc(func(v, y []float64) {
+			jac.MulVec(v, y)
+		})
+		op := krylov.OperatorFunc(func(v, y []float64) {
+			vn := sparse.Norm2(v)
+			if vn == 0 {
+				for i := range y {
+					y[i] = 0
+				}
+				return
+			}
+			eps := 1e-8 * (1 + sparse.Norm2(q)) / vn
+			for i := range qTrial {
+				qTrial[i] = q[i] + eps*v[i]
+			}
+			active.Residual(qTrial, y)
+			stepFlux++
+			inv := 1 / eps
+			b := d.Sys.B()
+			for vtx := 0; vtx < d.M.NumVertices(); vtx++ {
+				td := ts[vtx] / cfl
+				for c := 0; c < b; c++ {
+					i := vtx*b + c
+					y[i] = (y[i]-r[i])*inv + td*v[i]
+				}
+			}
+		})
+		for i := range rhs {
+			rhs[i] = -r[i]
+			dq[i] = 0
+		}
+		var kop krylov.Operator = op
+		if s.Opts.AssembledOperator {
+			kop = assembled
+		}
+		kpc := pc
+		if s.Hooks != nil {
+			if s.Hooks.WrapOperator != nil {
+				kop = s.Hooks.WrapOperator(kop)
+			}
+			if s.Hooks.WrapPreconditioner != nil {
+				kpc = s.Hooks.WrapPreconditioner(kpc)
+			}
+		}
+		kst, err := krylov.Solve(kop, kpc, rhs, dq, s.Opts.Krylov)
+		if err != nil {
+			return nil, err
+		}
+		// Line search (backtracking) on the residual norm.
+		lambda := 1.0
+		var newNorm float64
+		for attempt := 0; ; attempt++ {
+			for i := range qTrial {
+				qTrial[i] = q[i] + lambda*dq[i]
+			}
+			active.Residual(qTrial, rhs)
+			stepFlux++
+			s.fireResidual()
+			newNorm = sparse.Norm2(rhs)
+			if !s.Opts.LineSearch || newNorm <= rnorm*(1+1e-10) || attempt >= 5 {
+				break
+			}
+			lambda *= 0.5
+		}
+		copy(q, qTrial)
+		copy(r, rhs)
+		rnorm = newNorm
+		fluxEvals += stepFlux
+		res.TotalLinearIts += kst.Iterations
+		res.Steps = append(res.Steps, Step{
+			Index: step, Rnorm: rnorm, CFL: cfl,
+			LinearIts: kst.Iterations, FluxEvals: stepFlux,
+			Order: active.Opts.Order,
+		})
+		if rnorm/r0 <= s.Opts.RelTol {
+			res.Converged = true
+			break
+		}
+		if math.IsNaN(rnorm) || math.IsInf(rnorm, 0) {
+			return res, fmt.Errorf("newton: diverged at step %d (residual %g)", step, rnorm)
+		}
+	}
+	res.FinalRnorm = rnorm
+	res.TotalFluxEvals = fluxEvals
+	return res, nil
+}
+
+// addTimeDiagonal adds ts[v]/cfl to the diagonal of every diagonal block.
+func addTimeDiagonal(a *sparse.BCSR, ts []float64, cfl float64) {
+	b := a.B
+	for v := 0; v < a.NB; v++ {
+		blk, ok := a.BlockAt(v, v)
+		if !ok {
+			continue
+		}
+		td := ts[v] / cfl
+		for c := 0; c < b; c++ {
+			blk[c*b+c] += td
+		}
+	}
+}
+
+// fireResidual invokes the AfterResidual hook when installed.
+func (s *Solver) fireResidual() {
+	if s.Hooks != nil && s.Hooks.AfterResidual != nil {
+		s.Hooks.AfterResidual()
+	}
+}

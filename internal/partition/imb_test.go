@@ -1,0 +1,46 @@
+package partition
+
+import (
+	"testing"
+
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/sparse"
+)
+
+// TestKWayImbalanceSweep guards against the BFS-growth pathology where
+// stranded seeds leave near-empty parts and the leftovers overload the
+// last parts — the 64-rank anomaly found in the Table 3 study.
+func TestKWayImbalanceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("45k-vertex sweep")
+	}
+	m, err := mesh.GenerateWingN(45000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = m.Renumber(mesh.RCM(m))
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	for _, np := range []int{32, 64, 128, 192, 256} {
+		p, err := KWay(g, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := p.Sizes()
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		t.Logf("np=%d imbalance=%.3f min=%d max=%d mean=%d", np, p.Imbalance(), min, max, g.NV/np)
+		if p.Imbalance() > 1.30 {
+			t.Errorf("np=%d: imbalance %.3f exceeds 1.30", np, p.Imbalance())
+		}
+		if min < g.NV/np/4 {
+			t.Errorf("np=%d: starved part of %d vertices (mean %d)", np, min, g.NV/np)
+		}
+	}
+}

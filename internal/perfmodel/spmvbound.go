@@ -1,0 +1,93 @@
+package perfmodel
+
+// Achievable-performance bounds for sparse matrix-vector product,
+// following the companion paper the text leans on for its analysis
+// (Gropp, Kaushik, Keyes, Smith, "Toward realistic performance bounds
+// for implicit CFD codes", Parallel CFD'99 — reference [10]): the
+// sustained flop rate of SpMV is capped both by the memory bandwidth
+// needed to stream the matrix and by the instruction-issue cost of the
+// loads and stores, and on every machine of the era the memory bound
+// bites first. Structural blocking raises both bounds — fewer index
+// loads and fewer load instructions per flop.
+
+// SpMVShape describes one SpMV workload for the bounds.
+type SpMVShape struct {
+	N         int // scalar dimension
+	NNZ       int // scalar nonzeros
+	NNZBlocks int // stored blocks (== NNZ for scalar CSR)
+	ValBytes  int // bytes per stored value (8 float64, 4 float32)
+}
+
+// CSRShape returns the shape of a scalar CSR matrix.
+func CSRShape(n, nnz int) SpMVShape { return SpMVShape{N: n, NNZ: nnz, NNZBlocks: nnz, ValBytes: 8} }
+
+// BCSRShape returns the shape of a block CSR matrix with b×b blocks.
+func BCSRShape(nb, nnzBlocks, b int) SpMVShape {
+	return SpMVShape{N: nb * b, NNZ: nnzBlocks * b * b, NNZBlocks: nnzBlocks, ValBytes: 8}
+}
+
+// Flops returns the floating-point work.
+func (w SpMVShape) Flops() int64 { return SpMVFlops(w.NNZ) }
+
+// Traffic returns the minimum memory traffic in bytes.
+func (w SpMVShape) Traffic() int64 { return SpMVTraffic(w.N, w.NNZ, w.NNZBlocks, w.ValBytes) }
+
+// Loads returns the number of load instructions with perfect register
+// reuse within a block: every value once, one index per block, one
+// x-load per block column entry (b values per block amortize to one
+// load each of the b x's reused across the block's rows), plus row
+// pointers.
+func (w SpMVShape) Loads() int64 {
+	b := 1
+	if w.NNZBlocks > 0 {
+		b = w.NNZ / w.NNZBlocks // b*b scalars per block
+	}
+	xLoads := int64(w.NNZ)
+	if b > 1 {
+		// For b×b blocks, the b x-values load once per block, not once
+		// per scalar entry.
+		xLoads = int64(w.NNZBlocks) * int64(isqrt(b))
+	}
+	return int64(w.NNZ) + // matrix values
+		int64(w.NNZBlocks) + // column indices
+		int64(w.N+1) + // row pointers
+		xLoads
+}
+
+func isqrt(bb int) int {
+	r := 1
+	for r*r < bb {
+		r++
+	}
+	return r
+}
+
+// Stores returns the store instructions (the result vector).
+func (w SpMVShape) Stores() int64 { return int64(w.N) }
+
+// SpMVBandwidthBound returns the flop/s rate permitted by the machine's
+// sustainable memory bandwidth.
+func (p Profile) SpMVBandwidthBound(w SpMVShape) float64 {
+	return float64(w.Flops()) * p.StreamBW / float64(w.Traffic())
+}
+
+// SpMVInstructionBound returns the flop/s rate permitted by instruction
+// issue, assuming one load/store unit (one memory operation per cycle)
+// and floating-point units that keep pace — the reference's
+// issue-limited bound.
+func (p Profile) SpMVInstructionBound(w SpMVShape) float64 {
+	memOps := w.Loads() + w.Stores()
+	cycles := float64(memOps)
+	return float64(w.Flops()) / cycles * p.ClockHz
+}
+
+// SpMVBound returns the achievable flop/s (the smaller of the two
+// bounds) and which one binds.
+func (p Profile) SpMVBound(w SpMVShape) (rate float64, memoryBound bool) {
+	bw := p.SpMVBandwidthBound(w)
+	in := p.SpMVInstructionBound(w)
+	if bw <= in {
+		return bw, true
+	}
+	return in, false
+}

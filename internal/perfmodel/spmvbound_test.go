@@ -1,0 +1,73 @@
+package perfmodel
+
+import "testing"
+
+func TestSpMVShapes(t *testing.T) {
+	c := CSRShape(1000, 15000)
+	if c.Flops() != 30000 {
+		t.Errorf("CSR flops %d", c.Flops())
+	}
+	b := BCSRShape(250, 3750, 4) // same scalar size/nnz as c, blocked
+	if b.N != 1000 || b.NNZ != 60000 {
+		t.Errorf("BCSR shape wrong: %+v", b)
+	}
+	if b.Traffic() >= CSRShape(1000, 60000).Traffic() {
+		t.Error("blocking did not reduce traffic")
+	}
+	if b.Loads() >= CSRShape(1000, 60000).Loads() {
+		t.Error("blocking did not reduce loads")
+	}
+}
+
+func TestSpMVBoundsOrdering(t *testing.T) {
+	// On every era profile, scalar CSR SpMV is memory-bandwidth bound —
+	// the paper's central observation about the sparse kernels.
+	w := CSRShape(90708, 90708*60)
+	for _, p := range Profiles() {
+		rate, memBound := p.SpMVBound(w)
+		if rate <= 0 {
+			t.Errorf("%s: nonpositive bound", p.Name)
+		}
+		if !memBound {
+			t.Errorf("%s: scalar SpMV not memory bound (bw %0.f vs instr %.0f)",
+				p.Name, p.SpMVBandwidthBound(w), p.SpMVInstructionBound(w))
+		}
+		// The bound is far below peak — the "low computational
+		// intensity" of sparse PDE kernels.
+		if rate > p.PeakFlops/2 {
+			t.Errorf("%s: SpMV bound %.0f implausibly close to peak %.0f", p.Name, rate, p.PeakFlops)
+		}
+	}
+}
+
+func TestBlockingRaisesBounds(t *testing.T) {
+	nb := 22677
+	deg := 15
+	scalar := CSRShape(nb*4, nb*4*deg*4)
+	blocked := BCSRShape(nb, nb*deg, 4)
+	if scalar.NNZ != blocked.NNZ {
+		t.Fatalf("shapes disagree: %d vs %d scalar nnz", scalar.NNZ, blocked.NNZ)
+	}
+	p := Origin2000
+	if p.SpMVBandwidthBound(blocked) <= p.SpMVBandwidthBound(scalar) {
+		t.Error("blocking did not raise the bandwidth bound")
+	}
+	if p.SpMVInstructionBound(blocked) <= p.SpMVInstructionBound(scalar) {
+		t.Error("blocking did not raise the instruction bound")
+	}
+}
+
+func TestSinglePrecisionRaisesBandwidthBound(t *testing.T) {
+	w64 := SpMVShape{N: 4000, NNZ: 60000, NNZBlocks: 3750, ValBytes: 8}
+	w32 := SpMVShape{N: 4000, NNZ: 60000, NNZBlocks: 3750, ValBytes: 4}
+	p := Origin2000
+	r64 := p.SpMVBandwidthBound(w64)
+	r32 := p.SpMVBandwidthBound(w32)
+	if r32 <= r64 {
+		t.Errorf("float32 storage bound %.0f not above float64 %.0f", r32, r64)
+	}
+	// Value traffic dominates, so the gain approaches 2x.
+	if r32/r64 < 1.5 {
+		t.Errorf("float32 gain %.2f below 1.5", r32/r64)
+	}
+}

@@ -1,0 +1,315 @@
+package schwarz
+
+import (
+	"math"
+	"testing"
+
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/krylov"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/partition"
+	"petscfun3d/internal/sparse"
+)
+
+type problem struct {
+	a    *sparse.BCSR
+	g    sparse.Graph
+	rhs  []float64
+	part *partition.Partition
+}
+
+func buildProblem(t testing.TB, nx, ny, nz, b, nparts int) *problem {
+	t.Helper()
+	m, err := mesh.GenerateWing(mesh.DefaultWingSpec(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, b)
+	a.FillDeterministic(91)
+	p, err := partition.KWay(g, nparts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.17)
+	}
+	return &problem{a: a, g: g, rhs: rhs, part: p}
+}
+
+func solveIts(t testing.TB, pr *problem, opts Options) int {
+	t.Helper()
+	pc, err := New(pr.a, pr.part.Part, pr.part.NParts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, pr.a.N())
+	st, err := krylov.Solve(krylov.OperatorFunc(pr.a.MulVec), pc, pr.rhs, x,
+		krylov.Options{Restart: 30, MaxIters: 500, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("solve with %+v did not converge: %+v", opts, st)
+	}
+	// Verify the true residual, not just GMRES's recurrence.
+	ax := make([]float64, pr.a.N())
+	pr.a.MulVec(x, ax)
+	var num, den float64
+	for i := range ax {
+		d := pr.rhs[i] - ax[i]
+		num += d * d
+		den += pr.rhs[i] * pr.rhs[i]
+	}
+	if math.Sqrt(num/den) > 1e-6 {
+		t.Fatalf("true relative residual %g too large", math.Sqrt(num/den))
+	}
+	return st.Iterations
+}
+
+func TestSingleSubdomainEqualsGlobalILU(t *testing.T) {
+	pr := buildProblem(t, 5, 4, 4, 4, 1)
+	pc, err := New(pr.a, pr.part.Part, 1, Options{ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ilu.Factor(pr.a, ilu.Options{Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1 := make([]float64, pr.a.N())
+	z2 := make([]float64, pr.a.N())
+	pc.Apply(pr.rhs, z1)
+	f.Solve(pr.rhs, z2)
+	for i := range z1 {
+		if math.Abs(z1[i]-z2[i]) > 1e-12 {
+			t.Fatalf("single-subdomain Schwarz differs from global ILU at %d: %g vs %g", i, z1[i], z2[i])
+		}
+	}
+}
+
+func TestMoreSubdomainsMoreIterations(t *testing.T) {
+	// The paper's core algorithmic scalability effect: block-iterative
+	// convergence degrades as the number of blocks grows.
+	pr4 := buildProblem(t, 9, 8, 6, 4, 4)
+	pr32 := buildProblem(t, 9, 8, 6, 4, 32)
+	its4 := solveIts(t, pr4, Options{ILU: ilu.Options{Level: 0}})
+	its32 := solveIts(t, pr32, Options{ILU: ilu.Options{Level: 0}})
+	if its32 <= its4 {
+		t.Errorf("iterations did not grow with subdomains: %d (4 parts) vs %d (32 parts)", its4, its32)
+	}
+}
+
+func TestOverlapReducesIterations(t *testing.T) {
+	pr := buildProblem(t, 9, 8, 6, 4, 16)
+	its0 := solveIts(t, pr, Options{Overlap: 0, ILU: ilu.Options{Level: 0}})
+	its1 := solveIts(t, pr, Options{Overlap: 1, ILU: ilu.Options{Level: 0}})
+	if its1 > its0 {
+		t.Errorf("overlap 1 iterations %d > overlap 0 %d", its1, its0)
+	}
+}
+
+func TestFillReducesIterations(t *testing.T) {
+	pr := buildProblem(t, 9, 8, 6, 4, 16)
+	its0 := solveIts(t, pr, Options{ILU: ilu.Options{Level: 0}})
+	its1 := solveIts(t, pr, Options{ILU: ilu.Options{Level: 1}})
+	if its1 > its0 {
+		t.Errorf("ILU(1) iterations %d > ILU(0) %d", its1, its0)
+	}
+}
+
+func TestSinglePrecisionSubdomainsConverge(t *testing.T) {
+	pr := buildProblem(t, 8, 7, 5, 4, 8)
+	itsD := solveIts(t, pr, Options{ILU: ilu.Options{Level: 0}})
+	itsS := solveIts(t, pr, Options{ILU: ilu.Options{Level: 0, SinglePrecision: true}})
+	// The paper: single-precision preconditioner storage does not change
+	// convergence materially (the preconditioner is approximate anyway).
+	if diff := itsS - itsD; diff > itsD/4+2 {
+		t.Errorf("single-precision iterations %d much worse than double %d", itsS, itsD)
+	}
+}
+
+func TestGhostRowsGrowWithOverlap(t *testing.T) {
+	pr := buildProblem(t, 8, 7, 5, 4, 8)
+	pc0, err := New(pr.a, pr.part.Part, 8, Options{Overlap: 0, ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc1, err := New(pr.a, pr.part.Part, 8, Options{Overlap: 1, ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, g1 := 0, 0
+	for i := range pc0.Subs {
+		g0 += pc0.Subs[i].GhostRows()
+		g1 += pc1.Subs[i].GhostRows()
+	}
+	if g0 != 0 {
+		t.Errorf("block Jacobi has %d ghost rows, want 0", g0)
+	}
+	if g1 <= 0 {
+		t.Error("overlap 1 has no ghost rows")
+	}
+	if pc1.FactorBlocks() <= pc0.FactorBlocks() {
+		t.Error("overlap did not grow factor storage")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	pr := buildProblem(t, 4, 3, 3, 2, 2)
+	if _, err := New(pr.a, pr.part.Part[:3], 2, Options{}); err == nil {
+		t.Error("short partition accepted")
+	}
+	bad := append([]int32(nil), pr.part.Part...)
+	bad[0] = 99
+	if _, err := New(pr.a, bad, 2, Options{}); err == nil {
+		t.Error("invalid part index accepted")
+	}
+	if _, err := New(pr.a, pr.part.Part, 2, Options{Overlap: -1}); err == nil {
+		t.Error("negative overlap accepted")
+	}
+}
+
+func TestSubdomainWorkEstimatesPositive(t *testing.T) {
+	pr := buildProblem(t, 5, 4, 4, 4, 4)
+	pc, err := New(pr.a, pr.part.Part, 4, Options{Overlap: 1, ILU: ilu.Options{Level: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range pc.Subs {
+		if s.SolveFlops() <= 0 || s.SolveBytes() <= 0 {
+			t.Errorf("subdomain %d: nonpositive work estimate", i)
+		}
+		if len(s.Owned) == 0 {
+			t.Errorf("subdomain %d: no owned rows", i)
+		}
+	}
+}
+
+func BenchmarkApplyRASM1(b *testing.B) {
+	pr := buildProblem(b, 10, 8, 7, 4, 16)
+	pc, err := New(pr.a, pr.part.Part, 16, Options{Overlap: 1, ILU: ilu.Options{Level: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := make([]float64, pr.a.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Apply(pr.rhs, z)
+	}
+}
+
+func solveItsWith(t testing.TB, pr *problem, pc krylov.Preconditioner) int {
+	t.Helper()
+	x := make([]float64, pr.a.N())
+	st, err := krylov.Solve(krylov.OperatorFunc(pr.a.MulVec), pc, pr.rhs, x,
+		krylov.Options{Restart: 30, MaxIters: 800, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("solve did not converge")
+	}
+	return st.Iterations
+}
+
+// laplacianProblem builds a graph-Laplacian system (diag = degree + ε,
+// off-diagonal = -1): barely diagonally dominant, with the slowly
+// decaying global error modes that make one-level Schwarz degrade with
+// subdomain count — exactly the regime the coarse space exists for.
+func laplacianProblem(t testing.TB, nx, ny, nz, nparts int) *problem {
+	t.Helper()
+	m, err := mesh.GenerateWing(mesh.DefaultWingSpec(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, 1)
+	for i := 0; i < a.NB; i++ {
+		deg := 0
+		for _, j := range a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] {
+			if int(j) != i {
+				blk, _ := a.BlockAt(i, int(j))
+				blk[0] = -1
+				deg++
+			}
+		}
+		diag, _ := a.BlockAt(i, i)
+		diag[0] = float64(deg) + 0.05
+	}
+	p, err := partition.KWay(g, nparts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.17)
+	}
+	return &problem{a: a, g: g, rhs: rhs, part: p}
+}
+
+func TestCoarseLevelReducesIterationGrowth(t *testing.T) {
+	// The coarse space damps the block-count dependence of convergence:
+	// on a Laplacian with many subdomains, two-level Schwarz needs far
+	// fewer iterations than single-level.
+	pr := laplacianProblem(t, 10, 9, 7, 48)
+	one, err := New(pr.a, pr.part.Part, 48, Options{ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewTwoLevel(pr.a, pr.part.Part, 48, Options{ILU: ilu.Options{Level: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itsOne := solveItsWith(t, pr, one)
+	itsTwo := solveItsWith(t, pr, two)
+	if itsTwo >= itsOne {
+		t.Errorf("coarse level did not help: %d (two-level) vs %d (one-level)", itsTwo, itsOne)
+	}
+}
+
+func TestCoarseLevelExactOnCoarseSpace(t *testing.T) {
+	// For a residual constant within each subdomain (in the range of the
+	// coarse space), the coarse correction solves the Galerkin system
+	// exactly: A_c zc = rc reproduces rc when re-restricted.
+	pr := buildProblem(t, 6, 5, 4, 2, 4)
+	c, err := NewCoarseLevel(pr.a, pr.part.Part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := 2
+	r := make([]float64, pr.a.N())
+	for i := 0; i < pr.a.NB; i++ {
+		for comp := 0; comp < b; comp++ {
+			r[i*b+comp] = float64(pr.part.Part[i]+1) * (1 + 0.5*float64(comp))
+		}
+	}
+	z := make([]float64, pr.a.N())
+	c.Apply(r, z)
+	// z restricted through A must reproduce r's aggregate sums:
+	// R A z = R r since z = R^T A_c^{-1} R r and A_c = R A R^T.
+	az := make([]float64, pr.a.N())
+	pr.a.MulVec(z, az)
+	sums := make([]float64, 4*b)
+	want := make([]float64, 4*b)
+	for i := 0; i < pr.a.NB; i++ {
+		p := pr.part.Part[i]
+		for comp := 0; comp < b; comp++ {
+			sums[int(p)*b+comp] += az[i*b+comp]
+			want[int(p)*b+comp] += r[i*b+comp]
+		}
+	}
+	for i := range sums {
+		if math.Abs(sums[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			t.Fatalf("coarse Galerkin identity violated at %d: %g vs %g", i, sums[i], want[i])
+		}
+	}
+}
+
+func TestCoarseLevelValidation(t *testing.T) {
+	pr := buildProblem(t, 4, 3, 3, 2, 2)
+	if _, err := NewCoarseLevel(pr.a, pr.part.Part[:3], 2); err == nil {
+		t.Error("short partition accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package stream implements McCalpin's STREAM benchmark (Copy, Scale,
+// Add, Triad), which the paper uses as the definition of a machine's
+// sustainable memory bandwidth: the sparse linear-algebra phases of
+// PETSc-FUN3D run at close to this limit. The measured Triad bandwidth
+// calibrates the host-machine profile in EXPERIMENTS.md.
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result reports one kernel's measured bandwidth.
+type Result struct {
+	Kernel    string
+	Bytes     int64         // bytes moved per iteration
+	Best      time.Duration // fastest of the trials
+	Bandwidth float64       // bytes/second at the fastest trial
+}
+
+// String formats the result in STREAM's customary MB/s.
+func (r Result) String() string {
+	return fmt.Sprintf("%-6s %10.1f MB/s (best %v)", r.Kernel, r.Bandwidth/1e6, r.Best)
+}
+
+// Copy runs c[i] = a[i].
+func Copy(a, c []float64) {
+	copy(c, a)
+}
+
+// Scale runs b[i] = s*c[i].
+func Scale(s float64, c, b []float64) {
+	for i := range b {
+		b[i] = s * c[i]
+	}
+}
+
+// Add runs c[i] = a[i] + b[i].
+func Add(a, b, c []float64) {
+	for i := range c {
+		c[i] = a[i] + b[i]
+	}
+}
+
+// Triad runs a[i] = b[i] + s*c[i].
+func Triad(s float64, b, c, a []float64) {
+	for i := range a {
+		a[i] = b[i] + s*c[i]
+	}
+}
+
+// Run measures all four kernels on arrays of n doubles, taking the best
+// of trials runs of each, in STREAM's convention (Copy/Scale move 16
+// bytes per element, Add/Triad 24).
+func Run(n, trials int) ([]Result, error) {
+	if n < 1 || trials < 1 {
+		return nil, fmt.Errorf("stream: need positive n and trials, got %d, %d", n, trials)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const s = 3.0
+	type kernel struct {
+		name  string
+		bytes int64
+		run   func()
+	}
+	kernels := []kernel{
+		{"Copy", int64(16 * n), func() { Copy(a, c) }},
+		{"Scale", int64(16 * n), func() { Scale(s, c, b) }},
+		{"Add", int64(24 * n), func() { Add(a, b, c) }},
+		{"Triad", int64(24 * n), func() { Triad(s, b, c, a) }},
+	}
+	results := make([]Result, 0, len(kernels))
+	for _, k := range kernels {
+		best := time.Duration(1<<63 - 1)
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			k.run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		if best <= 0 {
+			best = time.Nanosecond
+		}
+		results = append(results, Result{
+			Kernel:    k.name,
+			Bytes:     k.bytes,
+			Best:      best,
+			Bandwidth: float64(k.bytes) / best.Seconds(),
+		})
+	}
+	return results, nil
+}
+
+// TriadBandwidth runs a quick measurement and returns the Triad
+// bandwidth in bytes/s, the number the paper's bandwidth-limited time
+// model wants.
+func TriadBandwidth() float64 {
+	res, err := Run(2<<20, 3)
+	if err != nil {
+		return 0
+	}
+	return res[3].Bandwidth
+}

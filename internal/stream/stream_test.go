@@ -1,0 +1,74 @@
+package stream
+
+import "testing"
+
+func TestKernelsCorrect(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{0, 0, 0}
+	c := []float64{0, 0, 0}
+	Copy(a, c)
+	if c[0] != 1 || c[2] != 3 {
+		t.Errorf("Copy: %v", c)
+	}
+	Scale(2, c, b)
+	if b[0] != 2 || b[2] != 6 {
+		t.Errorf("Scale: %v", b)
+	}
+	Add(a, b, c)
+	if c[0] != 3 || c[2] != 9 {
+		t.Errorf("Add: %v", c)
+	}
+	Triad(10, b, c, a)
+	if a[0] != 32 || a[2] != 96 {
+		t.Errorf("Triad: %v", a)
+	}
+}
+
+func TestRun(t *testing.T) {
+	res, err := Run(1<<16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	names := []string{"Copy", "Scale", "Add", "Triad"}
+	for i, r := range res {
+		if r.Kernel != names[i] {
+			t.Errorf("kernel %d = %s, want %s", i, r.Kernel, names[i])
+		}
+		if r.Bandwidth <= 0 {
+			t.Errorf("%s: nonpositive bandwidth", r.Kernel)
+		}
+		if r.String() == "" {
+			t.Errorf("%s: empty String()", r.Kernel)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if _, err := Run(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(10, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestTriadBandwidthPositive(t *testing.T) {
+	if bw := TriadBandwidth(); bw <= 0 {
+		t.Errorf("TriadBandwidth = %g", bw)
+	}
+}
+
+func BenchmarkTriad(b *testing.B) {
+	n := 1 << 20
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	b.SetBytes(int64(24 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Triad(3.0, y, z, x)
+	}
+}
