@@ -1,0 +1,26 @@
+# Tier-1+ gate: formatting, vet, and the full test suite under the race
+# detector (the threaded flux path and the message-passing solver in
+# internal/dist are the interesting customers). CI and pre-commit both
+# run `make verify`.
+
+GOFILES := $(shell find . -name '*.go' -not -path './related/*')
+
+.PHONY: verify fmt vet test race bench
+
+verify: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l $(GOFILES))"; \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...

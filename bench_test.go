@@ -7,13 +7,51 @@ package petscfun3d
 // specific effects (layout, blocking, precision) with real wall time.
 
 import (
+	"os"
 	"testing"
 
 	"petscfun3d/internal/experiments"
 	"petscfun3d/internal/ilu"
 	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
+
+// TestPhaseProfileBaseline runs one profiled solve and writes the
+// measured phase report to BENCH_phases.json — the baseline the perf
+// trajectory tracks (see EXPERIMENTS.md). It also asserts the profiler's
+// core invariant on a real workload: the exclusive phase seconds sum to
+// the tracked wall time.
+func TestPhaseProfileBaseline(t *testing.T) {
+	prof.Default.Reset()
+	prof.Default.Enable()
+	defer prof.Default.Disable()
+	cfg := DefaultConfig()
+	cfg.TargetVertices = 3000
+	cfg.Newton.MaxSteps = 30
+	out, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Default.Disable()
+	rep := prof.Default.Report(0)
+	var sum float64
+	for _, st := range rep.Phases {
+		sum += st.Seconds
+	}
+	wall := out.WallTime.Seconds()
+	if sum < 0.9*wall || sum > 1.1*wall {
+		t.Errorf("phase seconds sum %.4fs, wall time %.4fs — want within 10%%", sum, wall)
+	}
+	f, err := os.Create("BENCH_phases.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := prof.Default.WriteJSON(f, 0); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func BenchmarkTable1LayoutSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {

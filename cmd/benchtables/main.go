@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"petscfun3d/internal/experiments"
+	"petscfun3d/internal/prof"
+	"petscfun3d/internal/stream"
 )
 
 func main() {
@@ -26,7 +28,11 @@ func main() {
 	sizeFlag := flag.String("size", "small", "experiment scale: small|medium|large")
 	expFlag := flag.String("experiment", "all", "which experiment to run")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV data files into this directory")
+	profileJSON := flag.String("profile-json", "", "profile the experiments' solver phases and write the report (JSON) to this file")
 	flag.Parse()
+	if *profileJSON != "" {
+		prof.Default.Enable()
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -178,5 +184,22 @@ func main() {
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *profileJSON != "" {
+		prof.Default.Disable()
+		bw := stream.TriadBandwidth()
+		f, err := os.Create(*profileJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.Default.WriteJSON(f, bw); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		rep := prof.Default.Report(bw)
+		fmt.Fprintf(os.Stderr, "[phase profile: %.2fs in %d phases -> %s]\n",
+			rep.TotalSeconds, len(rep.Phases), *profileJSON)
 	}
 }

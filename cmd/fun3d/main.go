@@ -11,8 +11,11 @@ import (
 	"os"
 
 	"petscfun3d/internal/core"
+	"petscfun3d/internal/machine"
 	"petscfun3d/internal/newton"
 	"petscfun3d/internal/perfmodel"
+	"petscfun3d/internal/prof"
+	"petscfun3d/internal/stream"
 )
 
 func main() {
@@ -24,6 +27,7 @@ func main() {
 	writeMesh := flag.String("write-mesh", "", "write the (possibly renumbered) mesh to this file and continue")
 	system := flag.String("system", "incompressible", "incompressible|compressible")
 	order := flag.Int("order", 1, "flux discretization order (1 or 2)")
+	limit := flag.Bool("limit", false, "apply the van Albada flux limiter (second-order only)")
 	viscosity := flag.Float64("viscosity", 0, "Galerkin momentum diffusion coefficient (0 = Euler)")
 	switchAt := flag.Float64("switch-order-at", 0, "residual reduction at which to switch 1st->2nd order (0=off)")
 	cfl0 := flag.Float64("cfl0", 10, "initial CFL number")
@@ -41,12 +45,14 @@ func main() {
 	profile := flag.String("profile", "ASCI Red", "machine profile for parallel cost model")
 	edgeOrdering := flag.String("edge-ordering", "sorted", "sorted|colored flux loop order")
 	rcm := flag.Bool("rcm", true, "renumber vertices with Reverse Cuthill-McKee")
+	profileJSON := flag.String("profile-json", "", "measure per-phase wall time and write the profile report (JSON) to this file")
 	flag.Parse()
 
 	cfg.TargetVertices = *vertices
 	cfg.MeshFile = *meshFile
 	cfg.System = *system
 	cfg.Order = *order
+	cfg.Limit = *limit
 	cfg.Viscosity = *viscosity
 	cfg.SwitchOrderAt = *switchAt
 	cfg.Newton.CFL0 = *cfl0
@@ -63,11 +69,15 @@ func main() {
 	cfg.Partitioner = *partitioner
 	cfg.EdgeOrdering = *edgeOrdering
 	cfg.RCM = *rcm
-	prof, err := perfmodel.ProfileByName(*profile)
+	machProf, err := perfmodel.ProfileByName(*profile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.Profile = prof
+	cfg.Profile = machProf
+
+	if *profileJSON != "" {
+		prof.Default.Enable()
+	}
 
 	if *writeMesh != "" {
 		p, err := core.Build(cfg)
@@ -96,10 +106,14 @@ func main() {
 			out.Newton.Converged, out.Newton.InitialRnorm, out.Newton.FinalRnorm, out.Newton.TotalLinearIts)
 		rep := out.Report
 		fmt.Printf("modeled on %d ranks of %s: %.2fs elapsed, %.2f Gflop/s aggregate\n",
-			rep.Ranks, prof.Name, rep.Elapsed, rep.Gflops)
+			rep.Ranks, machProf.Name, rep.Elapsed, rep.Gflops)
 		fmt.Printf("  phase mix: %.1f%% reductions, %.1f%% implicit sync, %.1f%% scatters\n",
 			rep.PctReduce, rep.PctWait, rep.PctScatter)
 		fmt.Printf("  halo volume per exchange: %.2f MB total\n", float64(out.HaloBytesPerExchange)/1e6)
+		if *profileJSON != "" {
+			writeProfile(*profileJSON)
+			printModeledVsMeasured(rep)
+		}
 		return
 	}
 	out, err := core.RunSequential(cfg)
@@ -111,6 +125,54 @@ func main() {
 		out.Newton.Converged, out.Newton.InitialRnorm, out.Newton.FinalRnorm, out.Newton.TotalLinearIts)
 	fmt.Printf("wall time %v (%v per pseudo-timestep), %d vertices\n",
 		out.WallTime.Round(1e6), out.PerStep.Round(1e6), out.Problem.Mesh.NumVertices())
+	if *profileJSON != "" {
+		writeProfile(*profileJSON)
+	}
+}
+
+// writeProfile measures the host's STREAM Triad bandwidth, writes the
+// accumulated phase profile as JSON, and prints the per-phase roofline
+// table.
+func writeProfile(path string) {
+	prof.Default.Disable()
+	bw := stream.TriadBandwidth()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Default.WriteJSON(f, bw); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rep := prof.Default.Report(bw)
+	fmt.Printf("\nmeasured phases (%.3fs total, STREAM %.0f MB/s) -> %s\n",
+		rep.TotalSeconds, rep.StreamMBps, path)
+	fmt.Printf("%12s %8s %10s %10s %10s %8s\n", "phase", "calls", "seconds", "Mflop/s", "MB/s", "STREAM")
+	for _, st := range rep.Phases {
+		fmt.Printf("%12s %8d %10.4f %10.0f %10.0f %7.0f%%\n",
+			st.Phase, st.Calls, st.Seconds, st.Mflops, st.MBps, 100*st.StreamFraction)
+	}
+}
+
+// printModeledVsMeasured compares the virtual machine's modeled phase
+// mix with the measured one, in the machine.Report taxonomy. The
+// measured side is a sequential execution, so its scatter/reduce
+// buckets are empty — the point of the table is the compute split and
+// the modeled communication overhead on top of it.
+func printModeledVsMeasured(rep machine.Report) {
+	cat := prof.Default.CategorySeconds()
+	var measured float64
+	for _, s := range cat {
+		measured += s
+	}
+	fmt.Printf("\n%12s %12s %12s\n", "category", "modeled(s)", "measured(s)")
+	fmt.Printf("%12s %12.3f %12.3f\n", "compute", rep.Compute, cat["compute"])
+	fmt.Printf("%12s %12.3f %12.3f\n", "scatter", rep.Scatter, cat["scatter"])
+	fmt.Printf("%12s %12.3f %12.3f\n", "reduce", rep.Reduce, cat["reduce"])
+	fmt.Printf("%12s %12.3f %12s\n", "wait", rep.Wait, "-")
+	fmt.Printf("%12s %12.3f %12.3f\n", "total", rep.Elapsed, measured)
 }
 
 func printHistory(steps []newton.Step) {

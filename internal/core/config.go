@@ -82,6 +82,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate rejects configurations Build cannot honor, with errors that
+// name the offending field. Build calls it first, so a bad knob fails
+// fast instead of surfacing as a confusing downstream error (or
+// silently running a different discretization than asked for).
+func (cfg Config) Validate() error {
+	if cfg.Order != 0 && cfg.Order != 1 && cfg.Order != 2 {
+		return fmt.Errorf("core: invalid Order %d (want 1 or 2)", cfg.Order)
+	}
+	switch cfg.EdgeOrdering {
+	case "", "sorted", "colored":
+	default:
+		return fmt.Errorf("core: unknown EdgeOrdering %q (want \"sorted\" or \"colored\")", cfg.EdgeOrdering)
+	}
+	if cfg.Overlap < 0 {
+		return fmt.Errorf("core: negative Overlap %d", cfg.Overlap)
+	}
+	if cfg.FillLevel < 0 {
+		return fmt.Errorf("core: negative FillLevel %d", cfg.FillLevel)
+	}
+	if cfg.Ranks < 1 {
+		return fmt.Errorf("core: nonpositive Ranks %d", cfg.Ranks)
+	}
+	if cfg.MeshFile == "" && cfg.NX <= 0 && cfg.TargetVertices <= 0 {
+		return fmt.Errorf("core: nonpositive TargetVertices %d with no MeshFile or lattice dimensions", cfg.TargetVertices)
+	}
+	if cfg.NX > 0 && (cfg.NY <= 0 || cfg.NZ <= 0) {
+		return fmt.Errorf("core: lattice dimensions %dx%dx%d need all of NX, NY, NZ positive", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	return nil
+}
+
 // Problem holds everything Build assembles from a Config.
 type Problem struct {
 	Cfg   Config
@@ -96,6 +127,9 @@ type Problem struct {
 
 // Build assembles a problem.
 func Build(cfg Config) (*Problem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	var m *mesh.Mesh
 	var err error
 	switch {

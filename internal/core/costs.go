@@ -1,26 +1,24 @@
 package core
 
-// Kernel cost estimates feeding the virtual-machine model. The constants
-// are operation counts of the kernels in internal/euler and internal/ilu;
-// they need only be right to first order — the scaling *shapes* the model
-// reproduces come from how the counts distribute over ranks (partition
-// sizes, halo sizes, iteration counts), not from the constants.
+// Kernel cost estimates feeding the virtual-machine model. The formulas
+// live next to the kernels they describe (internal/euler, internal/ilu)
+// so the modeled accounting here and the measured profiler
+// (internal/prof) charge the same work with the same constants; this
+// file only adapts them to the model's per-rank bookkeeping.
 
-// edgeFluxFlops estimates floating-point operations per edge of one flux
-// evaluation: two physical flux evaluations, two spectral radii, and the
-// dissipation/accumulation arithmetic, all O(b).
-func edgeFluxFlops(b int) int64 { return int64(24*b + 50) }
+import (
+	"petscfun3d/internal/euler"
+	"petscfun3d/internal/ilu"
+)
 
-// fluxTrafficBytes estimates the memory traffic of one flux evaluation
-// over a subdomain with nvLocal vertices and edgesLocal edges: with the
-// cache-friendly (interlaced, edge-sorted) layouts the paper's code
-// uses, vertex state/residual/coordinate data is read from cache after
-// its first touch, so traffic is one sweep over the vertex arrays plus
-// the streaming read of the edge normals. This keeps the modeled flux
-// phase instruction-bound rather than memory-bound — the paper's
-// explicit observation, and the premise of its hybrid-threading study.
+// edgeFluxFlops is euler.EdgeFluxFlops: per-edge work of one flux
+// evaluation.
+func edgeFluxFlops(b int) int64 { return euler.EdgeFluxFlops(b) }
+
+// fluxTrafficBytes is euler.FluxTrafficBytes: memory traffic of one flux
+// evaluation over a subdomain.
 func fluxTrafficBytes(nvLocal, b int, edgesLocal int64) int64 {
-	return int64(nvLocal)*int64(8*(2*b+3)) + edgesLocal*24
+	return euler.FluxTrafficBytes(nvLocal, b, edgesLocal)
 }
 
 // vecSweepBytes is the traffic of one pass over a local vector of n
@@ -32,21 +30,17 @@ func vecSweepBytes(n int) int64 { return int64(16 * n) }
 // update amortized over the restart cycle).
 const krylovVecSweeps = 8
 
-// jacobianAssemblyFlops estimates per-edge work of the analytical
-// first-order Jacobian: two b×b physical Jacobians plus block
-// accumulation.
-func jacobianAssemblyFlops(b int) int64 { return int64(12 * b * b) }
+// jacobianAssemblyFlops is euler.JacobianAssemblyFlops: per-edge work of
+// the analytical first-order Jacobian.
+func jacobianAssemblyFlops(b int) int64 { return euler.JacobianAssemblyFlops(b) }
 
-// jacobianAssemblyBytes estimates per-edge traffic of assembly: four
-// b×b block read-modify-writes.
-func jacobianAssemblyBytes(b int) int64 { return int64(4 * 2 * 8 * b * b) }
+// jacobianAssemblyBytes is euler.JacobianAssemblyBytes: per-edge traffic
+// of assembly.
+func jacobianAssemblyBytes(b int) int64 { return euler.JacobianAssemblyBytes(b) }
 
-// iluFactorFlops estimates the work of factoring nnzb blocks of size b:
-// each block participates in O(1) block-block multiplies of 2b³ flops.
-func iluFactorFlops(nnzb, b int) int64 { return 2 * int64(nnzb) * int64(b) * int64(b) * int64(b) }
+// iluFactorFlops is ilu.FactorFlopsFor: work of factoring nnzb blocks of
+// size b.
+func iluFactorFlops(nnzb, b int) int64 { return ilu.FactorFlopsFor(nnzb, b) }
 
-// iluFactorBytes estimates factorization traffic: each stored block
-// read and written a small constant number of times.
-func iluFactorBytes(nnzb, b, valBytes int) int64 {
-	return 3 * int64(nnzb) * int64(b) * int64(b) * int64(valBytes)
-}
+// iluFactorBytes is ilu.FactorBytesFor: factorization memory traffic.
+func iluFactorBytes(nnzb, b, valBytes int) int64 { return ilu.FactorBytesFor(nnzb, b, valBytes) }

@@ -97,10 +97,16 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 	var lastPC *schwarz.Preconditioner
 	b := p.Sys.B()
 
+	// The hooks below run deep inside the Newton solve and cannot return
+	// errors through it; the first failure is latched here and reported
+	// after Solve returns instead of panicking mid-solve.
+	var hookErr error
 	chargeHalo := func() {
-		// Partner lists are symmetric, so Exchange cannot fail here.
+		if hookErr != nil {
+			return
+		}
 		if err := mach.Exchange(loads.partners, loads.sendBytes); err != nil {
-			panic(err)
+			hookErr = fmt.Errorf("core: modeled halo exchange: %w", err)
 		}
 	}
 	chargeFlux := func() {
@@ -195,6 +201,9 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 	}
 	q := p.Disc.FreestreamVector()
 	res, err := s.Solve(q)
+	if hookErr != nil {
+		return nil, hookErr
+	}
 	if err != nil {
 		return nil, err
 	}

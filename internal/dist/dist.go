@@ -15,6 +15,7 @@ import (
 
 	"petscfun3d/internal/ilu"
 	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -38,6 +39,14 @@ type Matrix struct {
 
 	// Diagonal block (owned x owned) for the block Jacobi factorization.
 	diag *sparse.BCSR
+
+	// Prof, when non-nil, receives this rank's measured phase timings
+	// (scatter, matvec, reduce, tri_solve). Each rank runs on its own
+	// goroutine, so each rank must have its own profiler; merge them
+	// with prof.Merge after mpi.Run returns. The process-wide
+	// prof.Default is NOT used here — it assumes single-goroutine
+	// nesting.
+	Prof *prof.Profiler
 }
 
 // NewMatrix extracts rank c.Rank()'s share of the global matrix a under
@@ -199,6 +208,14 @@ func (m *Matrix) LocalN() int { return len(m.Owned) * m.B }
 // already hold this rank's values.
 func (m *Matrix) Scatter(xExt []float64) error {
 	b := m.B
+	sp := m.Prof.Begin(prof.PhaseScatter)
+	var wire int64
+	for _, q := range m.peers {
+		wire += int64(len(m.sendTo[q])+len(m.recvFrom[q])) * int64(b) * 8
+	}
+	// Wire bytes both ways; the blocking receives fold the implicit
+	// synchronization wait into this phase's time.
+	defer sp.End(0, wire)
 	for _, q := range m.peers {
 		locs := m.sendTo[q]
 		if len(locs) == 0 {
@@ -232,6 +249,8 @@ func (m *Matrix) Scatter(xExt []float64) error {
 // MulVec computes the owned part of y = A x, where x and y are local
 // owned vectors (length LocalN()); one halo exchange per call.
 func (m *Matrix) MulVec(x, y []float64) error {
+	sp := m.Prof.Begin(prof.PhaseMatVec)
+	defer sp.End(m.local.MulVecFlops(), m.local.MulVecBytes())
 	ext := make([]float64, (len(m.Owned)+len(m.Ghosts))*m.B)
 	copy(ext, x[:m.LocalN()])
 	if err := m.Scatter(ext); err != nil {
@@ -241,10 +260,15 @@ func (m *Matrix) MulVec(x, y []float64) error {
 	return nil
 }
 
-// Dot returns the global inner product of two distributed vectors.
+// Dot returns the global inner product of two distributed vectors. The
+// whole call is charged to the reduce phase: the local products are a
+// vanishing fraction of it next to the wait for the last rank.
 func (m *Matrix) Dot(x, y []float64) float64 {
+	n := m.LocalN()
+	sp := m.Prof.Begin(prof.PhaseReduce)
+	defer sp.End(2*int64(n), 16*int64(n))
 	var s float64
-	for i := 0; i < m.LocalN(); i++ {
+	for i := 0; i < n; i++ {
 		s += x[i] * y[i]
 	}
 	return m.Comm.AllReduceSum(s)
@@ -260,5 +284,9 @@ func (m *Matrix) BlockJacobi(opts ilu.Options) (func(r, z []float64), error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(r, z []float64) { f.Solve(r, z) }, nil
+	return func(r, z []float64) {
+		sp := m.Prof.Begin(prof.PhaseTriSolve)
+		f.Solve(r, z)
+		sp.End(f.SolveFlops(), f.SolveBytes())
+	}, nil
 }

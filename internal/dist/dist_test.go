@@ -11,6 +11,7 @@ import (
 	"petscfun3d/internal/mesh"
 	"petscfun3d/internal/mpi"
 	"petscfun3d/internal/partition"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/schwarz"
 	"petscfun3d/internal/sparse"
 )
@@ -203,6 +204,76 @@ func TestDistributedGMRESMatchesSequentialSchwarz(t *testing.T) {
 	// products are summed in different orders).
 	if diff := distIts - seqStats.Iterations; diff < -3 || diff > 3 {
 		t.Errorf("iteration counts diverge: distributed %d vs sequential %d", distIts, seqStats.Iterations)
+	}
+}
+
+// TestDistributedProfileMeasuresCommunication gives each rank its own
+// profiler, solves, and merges them: the merged report must show the
+// message-passing phases (scatter, reduce) with real time and byte
+// counts alongside the compute phases — the measured counterpart of
+// machine.Report's communication buckets.
+func TestDistributedProfileMeasuresCommunication(t *testing.T) {
+	const nranks = 4
+	pr := buildTestProblem(t, 7, 6, 5, 4, nranks)
+	b := 4
+	profs := make([]*prof.Profiler, nranks)
+	for i := range profs {
+		profs[i] = prof.New()
+		profs[i].Enable()
+	}
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		dm.Prof = profs[c.Rank()]
+		solve, err := dm.BlockJacobi(ilu.Options{Level: 0})
+		if err != nil {
+			return err
+		}
+		lb := make([]float64, dm.LocalN())
+		lx := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lb[li*b:(li+1)*b], pr.rhs[int(gr)*b:(int(gr)+1)*b])
+		}
+		_, err = GMRES(dm, solve, lb, lx, GMRESOptions{Restart: 20, MaxIters: 60, RelTol: 1e-6})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := prof.New()
+	for _, p := range profs {
+		merged.Merge(p)
+	}
+	rep := merged.Report(0)
+	got := map[string]prof.PhaseStat{}
+	for _, st := range rep.Phases {
+		got[st.Phase] = st
+	}
+	for _, want := range []string{"krylov", "matvec", "scatter", "reduce", "tri_solve", "ortho"} {
+		st, ok := got[want]
+		if !ok {
+			t.Fatalf("phase %q missing from merged report %v", want, rep.Phases)
+		}
+		if st.Calls <= 0 || st.Seconds < 0 {
+			t.Fatalf("phase %q has calls=%d seconds=%g", want, st.Calls, st.Seconds)
+		}
+	}
+	if got["scatter"].Bytes <= 0 {
+		t.Error("scatter recorded no wire bytes")
+	}
+	if got["scatter"].Category != "scatter" || got["reduce"].Category != "reduce" {
+		t.Error("communication phases not in their machine.Report buckets")
+	}
+	if got["tri_solve"].Flops <= 0 || got["matvec"].Flops <= 0 {
+		t.Error("compute phases recorded no flops")
+	}
+	// Every rank's scatters happen inside its matvecs: cumulative child
+	// time cannot exceed cumulative parent time.
+	if got["scatter"].CumulativeSeconds > got["matvec"].CumulativeSeconds {
+		t.Errorf("scatter cumulative %g exceeds matvec cumulative %g",
+			got["scatter"].CumulativeSeconds, got["matvec"].CumulativeSeconds)
 	}
 }
 

@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"math"
+
+	"petscfun3d/internal/prof"
 )
 
 // GMRESOptions configures the distributed solve.
@@ -35,6 +37,8 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 	if pc == nil {
 		pc = func(r, z []float64) { copy(z, r) }
 	}
+	ksp := a.Prof.Begin(prof.PhaseKrylov)
+	defer ksp.End(0, 0)
 	mr := opts.Restart
 	var st GMRESStats
 
@@ -98,6 +102,7 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 			if err := a.MulVec(z, w); err != nil {
 				return st, err
 			}
+			osp := a.Prof.Begin(prof.PhaseOrtho)
 			for i := 0; i <= j; i++ {
 				h[i][j] = a.Dot(w, v[i])
 				for k := range w {
@@ -115,6 +120,10 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 					v[j+1][k] = 0
 				}
 			}
+			// Local axpy/scale sweeps; the global dot products inside are
+			// the nested reduce phase.
+			nn := int64(n)
+			osp.End((2*int64(j+1)+1)*nn, (24*int64(j+1)+24)*nn)
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
 				h[i+1][j] = -sn[i]*h[i][j] + cs[i]*h[i+1][j]

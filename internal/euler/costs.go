@@ -1,0 +1,76 @@
+package euler
+
+// First-order flop and memory-traffic estimates of the discretization's
+// kernels. They live here, next to the kernels they describe, so the
+// virtual-machine cost model (internal/core) and the measured wall-clock
+// profiler (internal/prof) account the same work with the same
+// constants. The counts need only be right to first order: the model's
+// scaling shapes come from how they distribute over ranks, and the
+// profiler's roofline ratios from their order of magnitude.
+
+// EdgeFluxFlops estimates floating-point operations per edge of one flux
+// evaluation: two physical flux evaluations, two spectral radii, and the
+// dissipation/accumulation arithmetic, all O(b).
+func EdgeFluxFlops(b int) int64 { return int64(24*b + 50) }
+
+// FluxTrafficBytes estimates the memory traffic of one flux evaluation
+// over a subdomain with nvLocal vertices and edgesLocal edges: with the
+// cache-friendly (interlaced, edge-sorted) layouts the paper's code
+// uses, vertex state/residual/coordinate data is read from cache after
+// its first touch, so traffic is one sweep over the vertex arrays plus
+// the streaming read of the edge normals. This keeps the flux phase
+// instruction-bound rather than memory-bound — the paper's explicit
+// observation, and the premise of its hybrid-threading study.
+func FluxTrafficBytes(nvLocal, b int, edgesLocal int64) int64 {
+	return int64(nvLocal)*int64(8*(2*b+3)) + edgesLocal*24
+}
+
+// JacobianAssemblyFlops estimates per-edge work of the analytical
+// first-order Jacobian: two b×b physical Jacobians plus block
+// accumulation.
+func JacobianAssemblyFlops(b int) int64 { return int64(12 * b * b) }
+
+// JacobianAssemblyBytes estimates per-edge traffic of assembly: four
+// b×b block read-modify-writes.
+func JacobianAssemblyBytes(b int) int64 { return int64(4 * 2 * 8 * b * b) }
+
+// SweepFlops is the flop count of one residual evaluation on this
+// discretization.
+func (d *Discretization) SweepFlops() int64 {
+	return int64(len(d.edges)) * EdgeFluxFlops(d.Sys.B())
+}
+
+// SweepBytes is the memory traffic of one residual evaluation on this
+// discretization.
+func (d *Discretization) SweepBytes() int64 {
+	return FluxTrafficBytes(d.M.NumVertices(), d.Sys.B(), int64(len(d.edges)))
+}
+
+// gradientFlops estimates the least-squares gradient (+limiter) pass:
+// each edge is visited from both endpoints with O(b) arithmetic, plus
+// the per-vertex 3×3 back-substitutions.
+func (d *Discretization) gradientFlops() int64 {
+	b := int64(d.Sys.B())
+	e := int64(len(d.edges))
+	nv := int64(d.M.NumVertices())
+	return 2*e*8*b + nv*18*b
+}
+
+// gradientBytes estimates the gradient pass traffic: one sweep over the
+// state, one write of the gradients (3 per component), the LSQ inverses,
+// and the streamed coordinates.
+func (d *Discretization) gradientBytes() int64 {
+	b := int64(d.Sys.B())
+	nv := int64(d.M.NumVertices())
+	return nv * (8*b + 24*b + 72 + 24)
+}
+
+// jacobianFlops is the flop count of one Jacobian assembly.
+func (d *Discretization) jacobianFlops() int64 {
+	return int64(len(d.edges)) * JacobianAssemblyFlops(d.Sys.B())
+}
+
+// jacobianBytes is the memory traffic of one Jacobian assembly.
+func (d *Discretization) jacobianBytes() int64 {
+	return int64(len(d.edges)) * JacobianAssemblyBytes(d.Sys.B())
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -50,6 +51,9 @@ type Discretization struct {
 	lsqInv []float64 // nv*9, precomputed LSQ normal-matrix inverses
 	// Viscous edge weights (when Opts.Viscosity > 0).
 	diffW []float64
+	// Private residual scratch for ResidualParallel, one per extra
+	// thread, grown lazily to the largest thread count seen.
+	privRes [][]float64
 }
 
 // NewDiscretization builds a discretization. geo may be nil, in which
@@ -164,15 +168,18 @@ func (d *Discretization) FreestreamVector() []float64 {
 // out of every control volume, including the weak farfield and slip-wall
 // boundary fluxes. r must have length N().
 func (d *Discretization) Residual(q, r []float64) {
+	sp := prof.Begin(prof.PhaseFlux)
 	b := d.Sys.B()
 	for i := range r[:d.N()] {
 		r[i] = 0
 	}
 	if d.Opts.Order == 2 {
+		gsp := prof.Begin(prof.PhaseGradient)
 		d.computeGradients(q)
 		if d.Opts.Limit {
 			d.computeLimiters(q)
 		}
+		gsp.End(d.gradientFlops(), d.gradientBytes())
 	}
 	var qa, qb, ql, qr, flux, scratch [5]float64
 	for _, e := range d.edges {
@@ -191,6 +198,7 @@ func (d *Discretization) Residual(q, r []float64) {
 		d.addDiffusion(q, r)
 	}
 	d.boundaryResidual(q, r)
+	sp.End(d.SweepFlops(), d.SweepBytes())
 }
 
 // boundaryResidual adds the boundary closure fluxes.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -31,6 +32,8 @@ func (d *Discretization) AssembleJacobian(q []float64, a *sparse.BCSR) error {
 		return fmt.Errorf("euler: Jacobian matrix is %dx%d blocks of %d, want %d of %d",
 			a.NB, a.NB, a.B, d.M.NumVertices(), b)
 	}
+	sp := prof.Begin(prof.PhaseJacobian)
+	defer sp.End(d.jacobianFlops(), d.jacobianBytes())
 	for i := range a.Val {
 		a.Val[i] = 0
 	}

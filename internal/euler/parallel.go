@@ -3,6 +3,8 @@ package euler
 import (
 	"fmt"
 	"sync"
+
+	"petscfun3d/internal/prof"
 )
 
 // ResidualParallel evaluates the residual with nthreads goroutines
@@ -15,6 +17,13 @@ import (
 // gather cost the paper discusses. Boundary fluxes are applied by the
 // calling goroutine.
 //
+// The private arrays are scratch buffers kept on the Discretization and
+// sized lazily to the largest thread count seen, so repeated calls on
+// the Table 5 hot path do not re-allocate O(n·threads) memory; as a
+// consequence, concurrent ResidualParallel calls on the same
+// Discretization are not allowed (concurrent calls on distinct
+// Discretizations are fine).
+//
 // First-order fluxes only (the paper threads only the flux phase).
 func (d *Discretization) ResidualParallel(q, r []float64, nthreads int) error {
 	if d.Opts.Order != 1 {
@@ -23,35 +32,50 @@ func (d *Discretization) ResidualParallel(q, r []float64, nthreads int) error {
 	if nthreads < 1 {
 		return fmt.Errorf("euler: nthreads %d < 1", nthreads)
 	}
+	sp := prof.Begin(prof.PhaseFlux)
 	n := d.N()
 	for i := range r[:n] {
 		r[i] = 0
 	}
 	b := d.Sys.B()
-	// Private residual arrays (the redundant work arrays).
-	priv := make([][]float64, nthreads)
-	for t := range priv {
-		if t == 0 {
-			priv[t] = r[:n]
-		} else {
-			priv[t] = make([]float64, n)
+	chunk := (len(d.edges) + nthreads - 1) / nthreads
+	// Threads whose edge range is empty (chunk*t >= len(edges)) are
+	// skipped entirely: they get no goroutine, no scratch buffer, and no
+	// term in the gather below.
+	active := nthreads
+	if chunk > 0 {
+		if a := (len(d.edges) + chunk - 1) / chunk; a < active {
+			active = a
 		}
+	} else {
+		active = 0
+	}
+	// Private residual arrays (the redundant work arrays) for threads
+	// 1..active-1; thread 0 accumulates directly into r. Reused across
+	// calls, grown lazily; each worker zeroes its own buffer so the
+	// clearing cost is parallelized along with the flux work.
+	for len(d.privRes) < active-1 {
+		d.privRes = append(d.privRes, make([]float64, n))
 	}
 	var wg sync.WaitGroup
-	chunk := (len(d.edges) + nthreads - 1) / nthreads
-	for t := 0; t < nthreads; t++ {
+	for t := 0; t < active; t++ {
 		lo := t * chunk
 		hi := lo + chunk
 		if hi > len(d.edges) {
 			hi = len(d.edges)
 		}
-		if lo >= hi {
-			continue
+		rr := r[:n]
+		if t > 0 {
+			rr = d.privRes[t-1][:n]
 		}
 		wg.Add(1)
-		go func(t, lo, hi int) {
+		go func(t, lo, hi int, rr []float64) {
 			defer wg.Done()
-			rr := priv[t]
+			if t > 0 {
+				for i := range rr {
+					rr[i] = 0
+				}
+			}
 			var qa, qb, flux, scratch [5]float64
 			for _, e := range d.edges[lo:hi] {
 				d.gather(q, e.a, qa[:b])
@@ -60,17 +84,24 @@ func (d *Discretization) ResidualParallel(q, r []float64, nthreads int) error {
 				d.scatterAdd(rr, e.a, flux[:b], +1)
 				d.scatterAdd(rr, e.b, flux[:b], -1)
 			}
-		}(t, lo, hi)
+		}(t, lo, hi, rr)
 	}
 	wg.Wait()
 	// Gather: sum the private arrays (memory-bandwidth-bound, the cost
 	// that can offset the threading benefit).
-	for t := 1; t < nthreads; t++ {
-		pt := priv[t]
+	for t := 1; t < active; t++ {
+		pt := d.privRes[t-1]
 		for i := 0; i < n; i++ {
 			r[i] += pt[i]
 		}
 	}
 	d.boundaryResidual(q, r)
+	// The gather adds one read+add sweep over the residual per extra
+	// thread on top of the sweep's own traffic.
+	extra := int64(active - 1)
+	if extra < 0 {
+		extra = 0
+	}
+	sp.End(d.SweepFlops()+extra*int64(n), d.SweepBytes()+extra*int64(16*n))
 	return nil
 }

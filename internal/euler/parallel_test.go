@@ -27,6 +27,60 @@ func TestResidualParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestResidualParallelSingleThreadExact: with one thread the parallel
+// path sweeps the edges in the sequential order into the caller's
+// buffer, so it must match Residual bit for bit (with more threads the
+// chunk partial sums reassociate the additions, which only exact-sum
+// accumulation could make bitwise identical).
+func TestResidualParallelSingleThreadExact(t *testing.T) {
+	m := testMesh(t, 9, 7, 6)
+	for _, sys := range systems() {
+		d := newDisc(t, m, sys, Options{Order: 1})
+		q := smoothState(d)
+		rs := make([]float64, d.N())
+		d.Residual(q, rs)
+		rp := make([]float64, d.N())
+		if err := d.ResidualParallel(q, rp, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rs {
+			if rs[i] != rp[i] {
+				t.Fatalf("%s: nthreads=1 differs bitwise at %d: %v vs %v", sys.Name(), i, rs[i], rp[i])
+			}
+		}
+	}
+}
+
+// TestResidualParallelDeterministic: repeated calls at a fixed thread
+// count reuse the discretization's scratch buffers and must reproduce
+// the result bit for bit — the scratch is zeroed, not assumed clean.
+func TestResidualParallelDeterministic(t *testing.T) {
+	m := testMesh(t, 8, 6, 5)
+	d := newDisc(t, m, NewIncompressible(), Options{Order: 1})
+	q := smoothState(d)
+	first := make([]float64, d.N())
+	if err := d.ResidualParallel(q, first, 4); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		// Vary the thread count in between so stale buffers from other
+		// shapes are around, then come back to 4.
+		tmp := make([]float64, d.N())
+		if err := d.ResidualParallel(q, tmp, 2+trial); err != nil {
+			t.Fatal(err)
+		}
+		r := make([]float64, d.N())
+		if err := d.ResidualParallel(q, r, 4); err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if r[i] != first[i] {
+				t.Fatalf("trial %d: nondeterministic at %d: %v vs %v", trial, i, r[i], first[i])
+			}
+		}
+	}
+}
+
 func TestResidualParallelValidation(t *testing.T) {
 	m := testMesh(t, 5, 4, 4)
 	d2 := newDisc(t, m, NewIncompressible(), Options{Order: 2})

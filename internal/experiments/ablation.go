@@ -58,7 +58,7 @@ func Ablation(size Size) (*AblationResult, error) {
 		return nil, err
 	}
 	res.Baseline = base
-	p, err := core.Build(core.Config{TargetVertices: nv, System: "incompressible", Order: 1})
+	p, err := core.Build(core.Config{TargetVertices: nv, System: "incompressible", Order: 1, Ranks: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,9 @@ import (
 )
 
 func TestAblationShape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	res, err := Ablation(Small)
 	if err != nil {
 		t.Fatal(err)

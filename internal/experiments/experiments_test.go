@@ -91,6 +91,9 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestCSVWriters(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	var buf bytes.Buffer
 	t1, err := Table1(Small, "incompressible")
 	if err != nil {

@@ -38,6 +38,9 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	res, err := Table3(Small)
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +79,9 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	res, err := Figure2(Small)
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +107,9 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure4KWayWinsAtScale(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	res, err := Figure4(Small)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +166,9 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("serial experiment driver; too slow under -race (see race_off_test.go)")
+	}
 	res, err := Table4(Small)
 	if err != nil {
 		t.Fatal(err)

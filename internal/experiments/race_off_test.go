@@ -1,0 +1,11 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled mirrors the -race build flag for tests: the full
+// experiment generators are serial drivers whose 10-20x race slowdown
+// would blow the test-binary timeout without exercising any
+// concurrency, so the slowest shape tests skip under -race (the
+// threaded and message-passing code paths get their race coverage in
+// internal/euler, internal/mpi, and internal/dist).
+const raceDetectorEnabled = false

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -53,12 +54,38 @@ func (f *Factorization) BytesPerValue() int {
 	return 8
 }
 
+// FactorFlopsFor estimates the floating-point work of factoring nnzb
+// stored blocks of size b: each block participates in O(1) block-block
+// multiplies of 2b³ flops. Shared between the measured profiler and the
+// virtual-machine cost model (internal/core).
+func FactorFlopsFor(nnzb, b int) int64 {
+	return 2 * int64(nnzb) * int64(b) * int64(b) * int64(b)
+}
+
+// FactorBytesFor estimates factorization traffic: each stored block read
+// and written a small constant number of times at valBytes per scalar.
+func FactorBytesFor(nnzb, b, valBytes int) int64 {
+	return 3 * int64(nnzb) * int64(b) * int64(b) * int64(valBytes)
+}
+
+// FactorFlops estimates the floating-point work of this factorization.
+func (f *Factorization) FactorFlops() int64 {
+	return FactorFlopsFor(len(f.ColIdx), f.B)
+}
+
+// FactorBytes estimates this factorization's memory traffic.
+func (f *Factorization) FactorBytes() int64 {
+	return FactorBytesFor(len(f.ColIdx), f.B, f.BytesPerValue())
+}
+
 // Factor computes the block ILU(k) factorization of a.
 func Factor(a *sparse.BCSR, opts Options) (*Factorization, error) {
 	if opts.Level < 0 {
 		return nil, fmt.Errorf("ilu: negative fill level %d", opts.Level)
 	}
+	sp := prof.Begin(prof.PhaseILUFactor)
 	f := &Factorization{NB: a.NB, B: a.B, Level: opts.Level}
+	defer func() { sp.End(f.FactorFlops(), f.FactorBytes()) }()
 	if err := f.symbolic(a, opts.Level); err != nil {
 		return nil, err
 	}

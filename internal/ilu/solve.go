@@ -1,5 +1,7 @@
 package ilu
 
+import "petscfun3d/internal/prof"
+
 // Solve applies the factorization: x = (LU)⁻¹ b, via a block forward
 // substitution (unit-diagonal L) followed by a block backward
 // substitution using the pre-inverted U diagonal blocks. b and x must
@@ -7,6 +9,8 @@ package ilu
 // memory-bandwidth-bound kernel of the paper's Table 2: each stored
 // factor value is touched exactly once per solve.
 func (f *Factorization) Solve(b, x []float64) {
+	sp := prof.Begin(prof.PhaseTriSolve)
+	defer sp.End(f.SolveFlops(), f.SolveBytes())
 	if f.val32 != nil {
 		f.solve32(b, x)
 		return

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -100,6 +101,13 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	if m == nil {
 		m = Identity{}
 	}
+	ksp := prof.Begin(prof.PhaseKrylov)
+	defer ksp.End(0, 0)
+	apply := func(x, y []float64) {
+		sp := prof.Begin(prof.PhaseMatVec)
+		a.Apply(x, y)
+		sp.End(0, 0) // the operator's own phases (e.g. flux) carry the work
+	}
 	mr := opts.Restart
 	var st Stats
 
@@ -119,7 +127,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	w := make([]float64, n)
 
 	r := make([]float64, n)
-	a.Apply(x, r)
+	apply(x, r)
 	st.MatVecs++
 	for i := range r {
 		r[i] = b[i] - r[i]
@@ -139,7 +147,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	for st.Iterations < opts.MaxIters {
 		// Start (re)cycle.
 		if st.Iterations > 0 {
-			a.Apply(x, r)
+			apply(x, r)
 			st.MatVecs++
 			for i := range r {
 				r[i] = b[i] - r[i]
@@ -167,8 +175,9 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			// w = A M^{-1} v_j.
 			m.Apply(v[j], z)
 			st.PrecondApps++
-			a.Apply(z, w)
+			apply(z, w)
 			st.MatVecs++
+			osp := prof.Begin(prof.PhaseOrtho)
 			switch opts.Orthogonalization {
 			case "", "mgs":
 				// Modified Gram-Schmidt.
@@ -202,6 +211,10 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 					v[j+1][i] = 0
 				}
 			}
+			// j+1 projections (dot+axpy), the norm, and the basis scale:
+			// all O(n) vector sweeps.
+			nn := int64(n)
+			osp.End((4*int64(j+1)+3)*nn, (40*int64(j+1)+32)*nn)
 			// Apply accumulated Givens rotations to the new column.
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]

@@ -15,6 +15,7 @@ import (
 
 	"petscfun3d/internal/euler"
 	"petscfun3d/internal/krylov"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -137,6 +138,11 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 	if len(q) != n {
 		return nil, fmt.Errorf("newton: state length %d, want %d", len(q), n)
 	}
+	// Root profiling span: its self time is the Newton loop's own work
+	// (pseudo-timestep scales, line-search bookkeeping, state updates)
+	// not claimed by a nested phase.
+	nsp := prof.Begin(prof.PhaseNewton)
+	defer nsp.End(0, 0)
 	res := &Result{}
 	r := make([]float64, n)
 	rhs := make([]float64, n)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
 
@@ -55,6 +56,8 @@ func New(a *sparse.BCSR, part []int32, nparts int, opts Options) (*Preconditione
 	if opts.Overlap < 0 {
 		return nil, fmt.Errorf("schwarz: negative overlap %d", opts.Overlap)
 	}
+	sp := prof.Begin(prof.PhasePCSetup)
+	defer sp.End(0, 0) // extraction only; the factorizations report their own work
 	p := &Preconditioner{NB: a.NB, B: a.B, Opts: opts, Subs: make([]*Subdomain, nparts)}
 	owned := make([][]int32, nparts)
 	for i, q := range part {
@@ -151,6 +154,10 @@ func sortInt32(s []int32) {
 // Apply implements krylov.Preconditioner: z = M⁻¹ r via independent
 // subdomain solves, restricted prolongation (owned unknowns only).
 func (p *Preconditioner) Apply(r, z []float64) {
+	sp := prof.Begin(prof.PhasePCApply)
+	// Restrict/prolong copy traffic; the triangular solves inside report
+	// their own flops and bytes.
+	defer sp.End(0, int64(32*p.NB*p.B))
 	for i := range z[:p.NB*p.B] {
 		z[i] = 0
 	}

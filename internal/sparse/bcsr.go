@@ -47,6 +47,21 @@ func (a *BCSR) BlockAt(i, j int) ([]float64, bool) {
 	return nil, false
 }
 
+// MulVecFlops returns the floating-point work of one MulVec: a multiply
+// and an add per stored scalar. Shared between the virtual-machine cost
+// model and the measured profiler.
+func (a *BCSR) MulVecFlops() int64 {
+	return 2 * int64(len(a.ColIdx)) * int64(a.B) * int64(a.B)
+}
+
+// MulVecBytes returns the memory traffic of one MulVec: every stored
+// block and column index read once, plus source and destination vector
+// sweeps.
+func (a *BCSR) MulVecBytes() int64 {
+	bb := int64(a.B) * int64(a.B)
+	return int64(len(a.ColIdx))*(bb*8+4) + 2*int64(a.NB)*int64(a.B)*8
+}
+
 // MulVec computes y = A x with x, y in interlaced layout (unknowns of a
 // mesh point adjacent). Specialized unrolled kernels handle the paper's
 // block sizes (4 incompressible, 5 compressible).
