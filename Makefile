@@ -1,13 +1,13 @@
-# Tier-1+ gate: formatting, vet, and the full test suite under the race
-# detector (the threaded flux path and the message-passing solver in
-# internal/dist are the interesting customers). CI and pre-commit both
-# run `make verify`.
+# Tier-1+ gate: formatting, vet, the domain lint suite (cmd/fun3dlint),
+# and the full test suite under the race detector (the threaded flux
+# path and the message-passing solver in internal/dist are the
+# interesting customers). CI and pre-commit both run `make verify`.
 
 GOFILES := $(shell find . -name '*.go' -not -path './related/*')
 
-.PHONY: verify fmt vet test race bench
+.PHONY: verify fmt vet lint test race bench
 
-verify: fmt vet race
+verify: fmt vet lint race
 
 fmt:
 	@out="$$(gofmt -l $(GOFILES))"; \
@@ -15,6 +15,9 @@ fmt:
 
 vet:
 	go vet ./...
+
+lint:
+	go run ./cmd/fun3dlint ./...
 
 test:
 	go test ./...

@@ -7,6 +7,7 @@ package petscfun3d
 // specific effects (layout, blocking, precision) with real wall time.
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 
@@ -50,6 +51,31 @@ func TestPhaseProfileBaseline(t *testing.T) {
 	defer f.Close()
 	if err := prof.Default.WriteJSON(f, 0); err != nil {
 		t.Fatal(err)
+	}
+
+	// The emitted profile must stay within the canonical phase taxonomy
+	// (the names internal/machine and the lint suite's profspan analyzer
+	// are built around); a drifting name would silently detach the
+	// measured tables from the model.
+	data, err := os.ReadFile("BENCH_phases.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written struct {
+		Phases []struct {
+			Phase string `json:"phase"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &written); err != nil {
+		t.Fatalf("BENCH_phases.json does not parse: %v", err)
+	}
+	if len(written.Phases) == 0 {
+		t.Fatal("BENCH_phases.json has no phases")
+	}
+	for _, p := range written.Phases {
+		if !prof.IsPhaseName(p.Phase) {
+			t.Errorf("BENCH_phases.json phase %q is outside the canonical taxonomy %v", p.Phase, prof.PhaseNames())
+		}
 	}
 }
 

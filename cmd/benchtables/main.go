@@ -183,7 +183,7 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Println(out)
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		_, _ = fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	if *profileJSON != "" {
 		prof.Default.Disable()
@@ -199,7 +199,7 @@ func main() {
 			log.Fatal(err)
 		}
 		rep := prof.Default.Report(bw)
-		fmt.Fprintf(os.Stderr, "[phase profile: %.2fs in %d phases -> %s]\n",
+		_, _ = fmt.Fprintf(os.Stderr, "[phase profile: %.2fs in %d phases -> %s]\n",
 			rep.TotalSeconds, len(rep.Phases), *profileJSON)
 	}
 }

@@ -164,8 +164,8 @@ func writeProfile(path string) {
 func printModeledVsMeasured(rep machine.Report) {
 	cat := prof.Default.CategorySeconds()
 	var measured float64
-	for _, s := range cat {
-		measured += s
+	for _, k := range []string{"compute", "scatter", "reduce"} {
+		measured += cat[k]
 	}
 	fmt.Printf("\n%12s %12s %12s\n", "category", "modeled(s)", "measured(s)")
 	fmt.Printf("%12s %12.3f %12.3f\n", "compute", rep.Compute, cat["compute"])

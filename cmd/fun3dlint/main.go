@@ -1,0 +1,88 @@
+// Command fun3dlint runs the repository's domain-aware static-analysis
+// suite (internal/lint): hot-path allocation discipline, profiler
+// Begin/End span pairing against the canonical phase taxonomy, cost
+// formula provenance for the roofline accounting, dropped errors and
+// library panics, and map-ordered floating-point reductions. It is part
+// of `make verify`; any finding fails the build.
+//
+// Usage:
+//
+//	fun3dlint [-json] [packages]
+//
+// Packages are module-relative patterns ("./...", "./internal/...", or
+// plain package directories); the default is "./...". Exit status is 1
+// when findings are reported, 2 on load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"petscfun3d/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fun3dlint: ")
+	asJSON := flag.Bool("json", false, "report findings as a JSON array (for CI)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [packages]\n")
+		flag.PrintDefaults()
+		_, _ = fmt.Fprintf(out, "\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			_, _ = fmt.Fprintf(out, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		os.Exit(fatal(err))
+	}
+	findings, err := lint.RunPatterns(root, patterns)
+	if err != nil {
+		os.Exit(fatal(err))
+	}
+	// Report file paths relative to the module root, the shape CI and
+	// editors expect.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = rel
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) int {
+	log.Print(err)
+	return 2
+}

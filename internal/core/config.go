@@ -139,7 +139,9 @@ func Build(cfg Config) (*Problem, error) {
 			return nil, fmt.Errorf("core: %w", ferr)
 		}
 		m, err = mesh.Read(f)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("core: %w", cerr)
+		}
 	case cfg.NX > 0:
 		m, err = mesh.GenerateWing(mesh.DefaultWingSpec(cfg.NX, cfg.NY, cfg.NZ))
 	default:

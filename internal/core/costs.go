@@ -22,8 +22,10 @@ func fluxTrafficBytes(nvLocal, b int, edgesLocal int64) int64 {
 }
 
 // vecSweepBytes is the traffic of one pass over a local vector of n
-// scalars (read + write).
+// scalars (read + write); vecSweepFlops the multiply-add work of the
+// same pass.
 func vecSweepBytes(n int) int64 { return int64(16 * n) }
+func vecSweepFlops(n int) int64 { return int64(2 * n) }
 
 // krylovVecSweeps is the average number of local-vector passes per GMRES
 // iteration (orthogonalization axpys/dots, basis scaling, solution

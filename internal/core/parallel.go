@@ -120,7 +120,7 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 	chargeVecOps := func(sweeps int) {
 		for r := 0; r < cfg.Ranks; r++ {
 			mach.Compute(r,
-				int64(2*loads.localN[r]*sweeps),
+				int64(sweeps)*vecSweepFlops(loads.localN[r]),
 				int64(sweeps)*vecSweepBytes(loads.localN[r]),
 				0)
 		}

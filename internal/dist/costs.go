@@ -1,0 +1,30 @@
+package dist
+
+// Cost formulas for the measured phase profiler. Every Begin/End span
+// in this package charges its flops and bytes through these functions
+// (the costconst analyzer enforces it), so the counts the profiler
+// reports cannot drift from the formulas the roofline accounting and
+// the virtual-machine model assume.
+
+// haloWireBytes is the wire traffic of one ghost scatter: each send and
+// receive index list crossing this rank's boundary moves B doublewords
+// per block row, counted in both directions.
+func (m *Matrix) haloWireBytes() int64 {
+	var wire int64
+	for _, q := range m.peers {
+		wire += int64(len(m.sendTo[q])+len(m.recvFrom[q])) * int64(m.B) * 8
+	}
+	return wire
+}
+
+// dotFlops and dotBytes: one multiply-add pass over two local vectors
+// of n scalars.
+func dotFlops(n int) int64 { return 2 * int64(n) }
+func dotBytes(n int) int64 { return 16 * int64(n) }
+
+// orthoFlops and orthoBytes: modified Gram-Schmidt step j (0-based) of
+// distributed GMRES over vectors of n local scalars — j+1 projections
+// (dot+axpy) plus the basis normalization. The global dot products
+// nested inside are charged to the reduce phase by Dot itself.
+func orthoFlops(j, n int) int64 { return (2*int64(j+1) + 1) * int64(n) }
+func orthoBytes(j, n int) int64 { return (24*int64(j+1) + 24) * int64(n) }

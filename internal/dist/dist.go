@@ -209,13 +209,9 @@ func (m *Matrix) LocalN() int { return len(m.Owned) * m.B }
 func (m *Matrix) Scatter(xExt []float64) error {
 	b := m.B
 	sp := m.Prof.Begin(prof.PhaseScatter)
-	var wire int64
-	for _, q := range m.peers {
-		wire += int64(len(m.sendTo[q])+len(m.recvFrom[q])) * int64(b) * 8
-	}
 	// Wire bytes both ways; the blocking receives fold the implicit
 	// synchronization wait into this phase's time.
-	defer sp.End(0, wire)
+	defer sp.End(0, m.haloWireBytes())
 	for _, q := range m.peers {
 		locs := m.sendTo[q]
 		if len(locs) == 0 {
@@ -266,7 +262,7 @@ func (m *Matrix) MulVec(x, y []float64) error {
 func (m *Matrix) Dot(x, y []float64) float64 {
 	n := m.LocalN()
 	sp := m.Prof.Begin(prof.PhaseReduce)
-	defer sp.End(2*int64(n), 16*int64(n))
+	defer sp.End(dotFlops(n), dotBytes(n))
 	var s float64
 	for i := 0; i < n; i++ {
 		s += x[i] * y[i]

@@ -122,8 +122,7 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 			}
 			// Local axpy/scale sweeps; the global dot products inside are
 			// the nested reduce phase.
-			nn := int64(n)
-			osp.End((2*int64(j+1)+1)*nn, (24*int64(j+1)+24)*nn)
+			osp.End(orthoFlops(j, n), orthoBytes(j, n))
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
 				h[i+1][j] = -sn[i]*h[i][j] + cs[i]*h[i+1][j]

@@ -69,10 +69,12 @@ func BuildGeometry(m *mesh.Mesh) (*Geometry, error) {
 			for b := a + 1; b < 4; b++ {
 				va, vb := t[a], t[b]
 				// Other two vertices of the tet.
-				var others []int
+				var others [2]int
+				no := 0
 				for c := 0; c < 4; c++ {
 					if c != a && c != b {
-						others = append(others, c)
+						others[no] = c
+						no++
 					}
 				}
 				mid := scale3(add3(p[a], p[b]), 0.5)

@@ -147,6 +147,7 @@ func (d *Discretization) wallJacobian(q []float64, s mesh.Vec3, j []float64) {
 			j[3*b+c] = s.Z * dp[c]
 		}
 	default:
+		//lint:panic-ok internal invariant: the system enum is validated when the problem is configured
 		panic("euler: wallJacobian: unknown system")
 	}
 }

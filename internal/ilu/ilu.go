@@ -120,14 +120,14 @@ func (f *Factorization) symbolic(a *sparse.BCSR, level int) error {
 	inRow := make([]bool, nb)
 	for i := 0; i < nb; i++ {
 		// Seed with A's row i (level 0) plus the diagonal.
-		cols := make([]int32, 0, int(a.RowPtr[i+1]-a.RowPtr[i])+1)
+		cols := make([]int32, 0, int(a.RowPtr[i+1]-a.RowPtr[i])+1) //lint:alloc-ok per-factorization symbolic analysis; the fill pattern is being discovered
 		for _, j := range a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]] {
-			cols = append(cols, j)
+			cols = append(cols, j) //lint:alloc-ok per-factorization symbolic fill discovery
 			lev[j] = 0
 			inRow[j] = true
 		}
 		if !inRow[i] {
-			cols = append(cols, int32(i))
+			cols = append(cols, int32(i)) //lint:alloc-ok per-factorization symbolic fill discovery
 			lev[i] = 0
 			inRow[i] = true
 		}
@@ -136,10 +136,10 @@ func (f *Factorization) symbolic(a *sparse.BCSR, level int) error {
 		// columns discovered during processing that are still below the
 		// diagonal are inserted into the pending list in order, so every
 		// pivot is processed exactly once, ascending.
-		lower := make([]int32, 0, len(cols))
+		lower := make([]int32, 0, len(cols)) //lint:alloc-ok per-factorization symbolic pivot list
 		for _, j := range cols {
 			if j < int32(i) {
-				lower = append(lower, j)
+				lower = append(lower, j) //lint:alloc-ok per-factorization symbolic pivot list
 			}
 		}
 		sortInt32(lower)
@@ -157,7 +157,7 @@ func (f *Factorization) symbolic(a *sparse.BCSR, level int) error {
 				if !inRow[j] {
 					inRow[j] = true
 					lev[j] = through
-					cols = append(cols, j)
+					cols = append(cols, j) //lint:alloc-ok per-factorization symbolic fill discovery
 					if j < int32(i) {
 						// Insert into the pending pivot list, keeping order.
 						lower = insertSorted(lower, li+1, j)
@@ -168,7 +168,7 @@ func (f *Factorization) symbolic(a *sparse.BCSR, level int) error {
 			}
 		}
 		sortInt32(cols)
-		levs := make([]int32, len(cols))
+		levs := make([]int32, len(cols)) //lint:alloc-ok per-factorization symbolic row levels
 		for t, j := range cols {
 			levs[t] = lev[j]
 			inRow[j] = false
@@ -195,7 +195,7 @@ func (f *Factorization) symbolic(a *sparse.BCSR, level int) error {
 		if !found {
 			return fmt.Errorf("ilu: row %d lost its diagonal", i)
 		}
-		f.ColIdx = append(f.ColIdx, rowCols[i]...)
+		f.ColIdx = append(f.ColIdx, rowCols[i]...) //lint:alloc-ok appends into capacity preallocated to the exact total
 		f.RowPtr[i+1] = int32(len(f.ColIdx))
 	}
 	return nil

@@ -1,0 +1,12 @@
+package krylov
+
+// Cost formulas for the GMRES phase spans (enforced by the costconst
+// analyzer): one place holds the flop and traffic counts, so the
+// profiler's roofline accounting cannot disagree with itself about what
+// an orthogonalization step costs.
+
+// orthoFlops and orthoBytes: modified Gram-Schmidt step j (0-based)
+// over vectors of n scalars — j+1 projections (dot+axpy), the norm, and
+// the basis scale, all O(n) vector sweeps.
+func orthoFlops(j, n int) int64 { return (4*int64(j+1) + 3) * int64(n) }
+func orthoBytes(j, n int) int64 { return (40*int64(j+1) + 32) * int64(n) }

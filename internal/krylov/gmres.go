@@ -114,15 +114,16 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	// Krylov basis and Hessenberg factorization workspace.
 	v := make([][]float64, mr+1)
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = make([]float64, n) //lint:alloc-ok per-solve Krylov basis, sized by the restart length before iterating
 	}
 	h := make([][]float64, mr+1) // h[i][j], i row (0..mr), j col (0..mr-1)
 	for i := range h {
-		h[i] = make([]float64, mr)
+		h[i] = make([]float64, mr) //lint:alloc-ok per-solve Hessenberg workspace, allocated before iterating
 	}
 	cs := make([]float64, mr)
 	sn := make([]float64, mr)
 	g := make([]float64, mr+1)
+	y := make([]float64, mr)
 	z := make([]float64, n)
 	w := make([]float64, n)
 
@@ -213,8 +214,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			}
 			// j+1 projections (dot+axpy), the norm, and the basis scale:
 			// all O(n) vector sweeps.
-			nn := int64(n)
-			osp.End((4*int64(j+1)+3)*nn, (40*int64(j+1)+32)*nn)
+			osp.End(orthoFlops(j, n), orthoBytes(j, n))
 			// Apply accumulated Givens rotations to the new column.
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
@@ -239,8 +239,8 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 				break
 			}
 		}
-		// Solve the j×j triangular system and update x += M^{-1} V y.
-		y := make([]float64, j)
+		// Solve the j×j triangular system into the preallocated y (every
+		// entry of y[:j] is overwritten) and update x += M^{-1} V y.
 		for i := j - 1; i >= 0; i-- {
 			s := g[i]
 			for k := i + 1; k < j; k++ {

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+const machinePath = "petscfun3d/internal/machine"
+
+// CostConst keeps the roofline accounting honest: flop and byte counts
+// fed to the profiler (prof.Span.End) and to the virtual machine's cost
+// charges (machine.Compute, machine.ComputeTimeDirect) must come from
+// the central cost formulas — functions named *Flops/*Bytes (optionally
+// *FlopsFor/*BytesFor), e.g. euler.EdgeFluxFlops, ilu.FactorFlopsFor,
+// sparse.MulVecFlops — never from hand-rolled literals or ad-hoc
+// arithmetic. A literal that drifts from the kernel it describes
+// silently falsifies every Mflop/s and STREAM-fraction column in the
+// measured tables; a formula is shared with the model and tested once.
+// Zero is always allowed ("counts unknown; nested spans carry them").
+var CostConst = &Analyzer{
+	Name: "costconst",
+	Doc:  "flop/byte counts come from central *Flops/*Bytes cost formulas",
+	Run:  runCostConst,
+}
+
+// costFormulaName matches the shared cost-formula naming convention.
+var costFormulaName = regexp.MustCompile(`(Flops|Bytes)(For)?$`)
+
+func runCostConst(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// The monitored cost sinks and their flop/byte argument
+			// positions.
+			var args []ast.Expr
+			switch {
+			case isMethodOn(info, call, profPath, "Span", "End") && len(call.Args) == 2:
+				args = call.Args[0:2]
+			case isMethodOn(info, call, machinePath, "Machine", "Compute") && len(call.Args) == 4:
+				args = call.Args[1:3]
+			case isMethodOn(info, call, machinePath, "Machine", "ComputeTimeDirect") && len(call.Args) == 3:
+				args = call.Args[2:3]
+			default:
+				return true
+			}
+			for _, arg := range args {
+				checkCostArg(pass, arg)
+			}
+			return true
+		})
+	}
+}
+
+func checkCostArg(pass *Pass, arg ast.Expr) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		// Compile-time constant: only zero is an honest literal.
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"hand-rolled constant %s fed to a cost sink; derive it from a *Flops/*Bytes cost formula", tv.Value)
+		return
+	}
+	// Non-constant: the expression must involve at least one call to a
+	// cost formula so the count has a single tested source of truth.
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := calleeObject(info, call).(*types.Func); ok && costFormulaName.MatchString(fn.Name()) {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		pass.Reportf(arg.Pos(),
+			"cost expression has no *Flops/*Bytes formula call; centralize the count in a cost function shared with the model")
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder guards the repo's bit-for-bit reproducibility: Go randomizes
+// map iteration order, and floating-point addition is not associative,
+// so accumulating floats while ranging over a map yields run-to-run
+// different last bits. The parallel-vs-serial validation tests (and the
+// paper's deterministic virtual-machine replays) compare residuals
+// exactly, so a nondeterministic reduction order is a real bug, not a
+// style nit. Iterate a sorted key slice instead.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "no floating-point accumulation ordered by map iteration",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			// Flag float accumulations in the loop body; a closure in the
+			// body still runs per iteration, so descend into literals too.
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN && as.Tok != token.MUL_ASSIGN {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if tv, ok := info.Types[lhs]; ok && isFloat(tv.Type) {
+						pass.Reportf(as.Pos(),
+							"floating-point accumulation ordered by map iteration is nondeterministic; range over sorted keys")
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is the dropped-error and panic discipline: a call whose
+// error result is discarded in an expression statement hides I/O and
+// solver failures (the class of bug that silently truncates a mesh file
+// or a profile report), and panic in library code takes down the whole
+// solver where an error would let the driver report and continue.
+// Panics asserting internal invariants or documented API misuse may
+// carry a //lint:panic-ok <reason> pragma; command mains are exempt.
+// Explicitly assigning to blank (`_ = f()`) is an acknowledged discard
+// and is not flagged, nor are writes to error-free writers
+// (strings.Builder, bytes.Buffer) whose Write methods are documented
+// never to fail.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently dropped error returns; no panic in library code",
+	Run:  runErrCheck,
+}
+
+// droppedErrorExempt lists callees whose error results are universally
+// ignored by convention (stdout prints from CLIs and examples).
+var droppedErrorExempt = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if returnsError(info, call, errType) && !exemptCallee(info, call) {
+					pass.Reportf(n.Pos(), "error return silently dropped; handle it or assign to _ explicitly")
+				}
+			case *ast.CallExpr:
+				if isBuiltinCall(info, n, "panic") && !pass.PanicExempt() {
+					pass.ReportSuppressiblef(n.Pos(), "panic-ok",
+						"panic in library code; return an error, or mark an invariant with //lint:panic-ok <reason>")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's result tuple contains an error.
+func returnsError(info *types.Info, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := info.Types[ast.Expr(call.Fun)]
+	if !ok || tv.IsType() {
+		return false // type conversion
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	qual := fn.Pkg().Path() + "." + fn.Name()
+	if droppedErrorExempt[qual] {
+		return true
+	}
+	// Methods on error-free writers (sb.WriteString and friends).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && errFreeWriter(sig.Recv().Type()) {
+		return true
+	}
+	// fmt.Fprint* into an error-free writer only fails if the writer
+	// fails, which these writers cannot.
+	switch qual {
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) > 0 {
+			if tv, ok := info.Types[call.Args[0]]; ok && errFreeWriter(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// errFreeWriter reports whether t is strings.Builder or bytes.Buffer
+// (possibly behind a pointer): writers whose Write methods are
+// documented never to return a non-nil error.
+func errFreeWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer")
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// eachFuncBody invokes fn once per function body in the file: every
+// declared function or method and every function literal. Bodies are
+// analyzed independently — a literal's statements belong to the
+// literal, not to its enclosing function.
+func eachFuncBody(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// shallowInspect walks the subtree rooted at n like ast.Inspect but
+// does not descend into nested function literals: the *ast.FuncLit node
+// itself is visited, its body is not.
+func shallowInspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if !f(m) {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return true
+	})
+}
+
+// calleeObject resolves the object a call expression invokes (function,
+// method, or builtin), or nil for type conversions and indirect calls
+// through expressions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	b, ok := calleeObject(info, call).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isNamedType reports whether t (or the type it points to) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isMethodOn reports whether call invokes a method with the given name
+// whose receiver is the named type pkgPath.recvName.
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgPath, recvName, method string) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != method {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), pkgPath, recvName)
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// scalar.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

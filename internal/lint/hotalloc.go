@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc forbids allocations inside loop bodies of the designated hot
+// packages: the paper's kernels run at the STREAM bandwidth limit, so a
+// stray make/append/map/closure allocation in a sweep both costs time
+// the roofline model does not account for and invalidates the measured
+// phase profile. One-time setup allocations carry a
+// //lint:alloc-ok <reason> pragma.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/append/map/closure allocations in loop bodies of hot packages",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !pass.Hot() {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			// Collect this function's own loop bodies (literals nested in
+			// the body are separate functions with their own loops).
+			var loops []*ast.BlockStmt
+			shallowInspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					loops = append(loops, n.Body)
+				case *ast.RangeStmt:
+					loops = append(loops, n.Body)
+				}
+				return true
+			})
+			inLoop := func(n ast.Node) bool {
+				for _, l := range loops {
+					if n.Pos() >= l.Lbrace && n.End() <= l.Rbrace {
+						return true
+					}
+				}
+				return false
+			}
+			shallowInspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if !inLoop(n) {
+						return true
+					}
+					if isBuiltinCall(info, n, "make") {
+						pass.ReportSuppressiblef(n.Pos(), "alloc-ok",
+							"make in a hot loop body; hoist it or mark one-time setup with //lint:alloc-ok <reason>")
+					}
+					if isBuiltinCall(info, n, "append") {
+						pass.ReportSuppressiblef(n.Pos(), "alloc-ok",
+							"append growth in a hot loop body; preallocate or mark one-time setup with //lint:alloc-ok <reason>")
+					}
+				case *ast.CompositeLit:
+					if !inLoop(n) {
+						return true
+					}
+					if tv, ok := info.Types[ast.Expr(n)]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.ReportSuppressiblef(n.Pos(), "alloc-ok",
+								"map literal allocated in a hot loop body")
+						}
+					}
+				case *ast.FuncLit:
+					if inLoop(n) {
+						pass.ReportSuppressiblef(n.Pos(), "alloc-ok",
+							"closure allocated in a hot loop body")
+					}
+				}
+				return true
+			})
+		})
+	}
+}

@@ -1,0 +1,279 @@
+// Package lint is a domain-aware static-analysis suite for this
+// repository, built on the stdlib go/parser + go/types toolchain (the
+// module is offline; no analysis framework dependency). The analyzers
+// enforce the invariants the paper's performance argument rests on:
+// kernels at the STREAM limit must not allocate in hot loops
+// (hotalloc), every profiler span must close on all paths so the
+// measured phase profile stays balanced (profspan), flop/byte counts
+// fed to the profiler must come from the shared cost formulas so the
+// roofline tables cannot drift from the model (costconst), errors must
+// not be dropped and library code must not panic (errcheck), and
+// floating-point reductions must not depend on Go's randomized map
+// iteration order, which would break bit-for-bit parallel-vs-serial
+// validation (detorder).
+//
+// Findings can be suppressed by a pragma comment on the offending line
+// or the line directly above:
+//
+//	//lint:alloc-ok <reason>   (hotalloc)
+//	//lint:panic-ok <reason>   (errcheck's panic rule)
+//
+// The reason is mandatory, and a pragma that suppresses nothing is
+// itself a finding, so escape hatches cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+
+	// suppressKey names the pragma kind ("alloc-ok", "panic-ok") that
+	// may suppress this finding; empty means not suppressible.
+	suppressKey string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Config selects which packages are subject to the allocation
+// discipline.
+type Config struct {
+	// HotPackages are the import paths whose loop bodies must not
+	// allocate (the paper's bandwidth-limited kernels live here).
+	HotPackages []string
+	// NoPanicExemptPrefixes are import-path prefixes where panic is
+	// tolerated (command mains; tests are exempt because test files are
+	// never loaded).
+	NoPanicExemptPrefixes []string
+}
+
+// DefaultConfig returns the repository's lint policy.
+func DefaultConfig() Config {
+	return Config{
+		HotPackages: []string{
+			"petscfun3d/internal/euler",
+			"petscfun3d/internal/ilu",
+			"petscfun3d/internal/krylov",
+			"petscfun3d/internal/sparse",
+			"petscfun3d/internal/schwarz",
+		},
+		NoPanicExemptPrefixes: []string{
+			"petscfun3d/cmd/",
+			"petscfun3d/examples/",
+		},
+	}
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotAlloc,
+		ProfSpan,
+		CostConst,
+		ErrCheck,
+		DetOrder,
+	}
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Cfg  Config
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Hot reports whether the package is subject to hot-loop allocation
+// discipline.
+func (p *Pass) Hot() bool {
+	for _, h := range p.Cfg.HotPackages {
+		if p.Pkg.Path == h {
+			return true
+		}
+	}
+	return false
+}
+
+// PanicExempt reports whether panic is tolerated in this package.
+func (p *Pass) PanicExempt() bool {
+	for _, pre := range p.Cfg.NoPanicExemptPrefixes {
+		if strings.HasPrefix(p.Pkg.Path, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", format, args...)
+}
+
+// ReportSuppressiblef records a finding that a //lint:<key> pragma may
+// suppress.
+func (p *Pass) ReportSuppressiblef(pos token.Pos, key, format string, args ...any) {
+	p.report(pos, key, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, key, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Pos:         position,
+		File:        position.Filename,
+		Line:        position.Line,
+		Col:         position.Column,
+		Analyzer:    p.analyzer.Name,
+		Message:     fmt.Sprintf(format, args...),
+		suppressKey: key,
+	})
+}
+
+// pragma is one //lint:<key> <reason> comment.
+type pragma struct {
+	file   string
+	line   int
+	key    string
+	reason string
+	used   bool
+}
+
+var pragmaRe = regexp.MustCompile(`^//lint:([a-z-]+)(?:\s+(.*))?$`)
+
+// knownPragmaKeys are the escape hatches the suite honors.
+var knownPragmaKeys = map[string]bool{"alloc-ok": true, "panic-ok": true}
+
+func collectPragmas(fset *token.FileSet, files []*ast.File) []*pragma {
+	var out []*pragma
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := pragmaRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &pragma{
+					file:   pos.Filename,
+					line:   pos.Line,
+					key:    m[1],
+					reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// findings, sorted by position: pragma-suppressed findings are removed,
+// and pragma hygiene violations (unknown key, missing reason, pragma
+// that suppresses nothing) are appended as findings of the synthetic
+// "pragma" analyzer.
+func Run(fset *token.FileSet, pkg *Package, cfg Config, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkg: pkg, Cfg: cfg, analyzer: a, findings: &raw}
+		a.Run(pass)
+	}
+	pragmas := collectPragmas(fset, pkg.Files)
+
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		if f.suppressKey != "" {
+			for _, pr := range pragmas {
+				if pr.key == f.suppressKey && pr.file == f.File &&
+					(pr.line == f.Line || pr.line == f.Line-1) {
+					pr.used = true
+					if pr.reason != "" {
+						suppressed = true
+					}
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	pragmaAnalyzer := &Analyzer{Name: "pragma"}
+	for _, pr := range pragmas {
+		report := func(format string, args ...any) {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: pr.file, Line: pr.line, Column: 1},
+				File:     pr.file,
+				Line:     pr.line,
+				Col:      1,
+				Analyzer: pragmaAnalyzer.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		switch {
+		case !knownPragmaKeys[pr.key]:
+			report("unknown pragma //lint:%s", pr.key)
+		case pr.reason == "":
+			report("pragma //lint:%s needs a reason", pr.key)
+		case !pr.used:
+			report("unused pragma //lint:%s suppresses nothing", pr.key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// RunPatterns loads the packages matching patterns under the module
+// rooted at root and runs the full suite with the default config —
+// the programmatic equivalent of `fun3dlint ./...`.
+func RunPatterns(root string, patterns []string) ([]Finding, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := l.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	var all []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Run(l.Fset, pkg, cfg, Analyzers())...)
+	}
+	return all, nil
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const profPath = "petscfun3d/internal/prof"
+
+// ProfSpan keeps the measured phase profile honest: every prof span
+// opened with Begin must be closed with End on all paths (a leaked span
+// corrupts the nesting stack, so every ancestor phase's self-time
+// silently vanishes from the report), and the phase argument must be
+// one of the canonical prof.Phase constants, whose names and
+// compute/scatter/reduce categories are the single taxonomy shared with
+// the internal/machine cost model. Because phases can only be named by
+// those constants, the modeled-vs-measured tables cannot drift.
+var ProfSpan = &Analyzer{
+	Name: "profspan",
+	Doc:  "prof spans close on all paths and use canonical phase constants",
+	Run:  runProfSpan,
+}
+
+func runProfSpan(pass *Pass) {
+	if pass.Pkg.Path == profPath {
+		return // the instrumentation layer itself
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			checkSpans(pass, body)
+		})
+	}
+}
+
+// isBeginCall reports whether call is prof.(*Profiler).Begin or the
+// package-level prof.Begin (anything returning a prof.Span from a
+// callee named Begin).
+func isBeginCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Expr(call)]
+	if !ok || !isNamedType(tv.Type, profPath, "Span") {
+		return false
+	}
+	fn, ok := calleeObject(info, call).(*types.Func)
+	return ok && fn.Name() == "Begin"
+}
+
+func checkSpans(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Span variables bound directly in this function (literals nested in
+	// the body are analyzed as their own functions).
+	type span struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var spans []span
+	bound := map[*ast.CallExpr]bool{}
+	shallowInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBeginCall(info, call) {
+			return true
+		}
+		bound[call] = true
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			pass.Reportf(call.Pos(), "prof span must be bound to a local variable so Begin/End pairing can be checked")
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			spans = append(spans, span{obj: obj, pos: call.Pos()})
+		}
+		return true
+	})
+
+	// Any Begin in this function not bound above (dropped on the floor,
+	// passed as an argument, chained) defeats pairing analysis.
+	shallowInspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBeginCall(info, call) && !bound[call] {
+			pass.Reportf(call.Pos(), "prof span must be bound to a local variable so Begin/End pairing can be checked")
+		}
+		return true
+	})
+
+	// Canonical-phase check on every Begin argument.
+	shallowInspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBeginCall(info, call) || len(call.Args) != 1 {
+			return true
+		}
+		if !isCanonicalPhase(info, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"phase must be a canonical prof.Phase constant (the taxonomy shared with internal/machine), not an ad-hoc expression")
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		checkSpanClosure(pass, body, sp.obj, sp.pos)
+	}
+}
+
+// isCanonicalPhase reports whether e names one of the prof.Phase
+// constants.
+func isCanonicalPhase(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Path() == profPath && isNamedType(c.Type(), profPath, "Phase")
+}
+
+// checkSpanClosure verifies that the span variable obj, opened at
+// beginPos, is closed on all paths out of body: either an End reached
+// through a defer, or an End with no early return between Begin and End
+// (a return directly preceded by the End call is paired).
+func checkSpanClosure(pass *Pass, body *ast.BlockStmt, obj types.Object, beginPos token.Pos) {
+	info := pass.Pkg.Info
+	isEndCall := func(n ast.Node) *ast.CallExpr {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return nil
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return nil
+		}
+		return call
+	}
+
+	// Deep walk (into literals: `defer func() { sp.End(...) }()` is a
+	// valid closure over the span) classifying End calls by whether a
+	// defer guards them.
+	var deferred bool
+	var lastEnd token.Pos
+	found := false
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		if n == nil {
+			return
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			walk(d.Call, true)
+			return
+		}
+		if call := isEndCall(n); call != nil {
+			found = true
+			if inDefer {
+				deferred = true
+			}
+			if call.End() > lastEnd {
+				lastEnd = call.End()
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n || m == nil {
+				return m == n
+			}
+			walk(m, inDefer)
+			return false
+		})
+	}
+	walk(body, false)
+
+	if !found {
+		pass.Reportf(beginPos, "prof span is never closed with End; the phase profile will leak this span")
+		return
+	}
+	if deferred {
+		return
+	}
+	// No defer: any return between Begin and the final End escapes with
+	// the span open, unless the End call directly precedes it.
+	shallowInspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= beginPos || ret.Pos() >= lastEnd {
+			return true
+		}
+		if returnPrecededByEnd(body, ret, isEndCall) {
+			return true
+		}
+		pass.Reportf(ret.Pos(), "return may leave prof span opened at line %d unclosed; call End before returning or use defer",
+			pass.Fset.Position(beginPos).Line)
+		return true
+	})
+}
+
+// returnPrecededByEnd reports whether the statement immediately before
+// ret in its enclosing statement list is a call to the span's End.
+func returnPrecededByEnd(body *ast.BlockStmt, ret *ast.ReturnStmt, isEndCall func(ast.Node) *ast.CallExpr) bool {
+	ok := false
+	shallowInspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			if st == ast.Stmt(ret) && i > 0 {
+				if es, isExpr := list[i-1].(*ast.ExprStmt); isExpr && isEndCall(es.X) != nil {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepositoryLintsClean is the acceptance gate: the full suite over
+// the whole module (what `fun3dlint ./...` and `make lint` run) must
+// report nothing. A finding here means either new code broke a
+// discipline or an analyzer regressed into a false positive — both are
+// failures.
+func TestRepositoryLintsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		var sb strings.Builder
+		for _, f := range findings {
+			sb.WriteString("  ")
+			sb.WriteString(f.String())
+			sb.WriteString("\n")
+		}
+		t.Fatalf("repository does not lint clean (%d findings):\n%s", len(findings), sb.String())
+	}
+}

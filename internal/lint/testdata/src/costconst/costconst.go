@@ -1,0 +1,33 @@
+// Package costconst is a lint fixture: flop/byte counts fed to the
+// profiler must come from named cost formulas.
+package costconst
+
+import "petscfun3d/internal/prof"
+
+func sweepFlops(n int) int64 { return 2 * int64(n) }
+func sweepBytes(n int) int64 { return 16 * int64(n) }
+
+func formulas(n int) {
+	sp := prof.Begin(prof.PhaseTriSolve)
+	sp.End(sweepFlops(n), sweepBytes(n))
+}
+
+func zeroIsHonest() {
+	sp := prof.Begin(prof.PhaseScatter)
+	sp.End(0, 0)
+}
+
+func scaledFormulaIsFine(n, reps int) {
+	sp := prof.Begin(prof.PhaseMatVec)
+	sp.End(int64(reps)*sweepFlops(n), int64(reps)*sweepBytes(n))
+}
+
+func handRolledExpression(n int) {
+	sp := prof.Begin(prof.PhaseMatVec)
+	sp.End(int64(2*n), sweepBytes(n)) // want "no .Flops/.Bytes formula call"
+}
+
+func handRolledLiteral(n int) {
+	sp := prof.Begin(prof.PhaseReduce)
+	sp.End(100, sweepBytes(n)) // want "hand-rolled constant 100"
+}

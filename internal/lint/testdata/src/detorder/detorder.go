@@ -1,0 +1,44 @@
+// Package detorder is a lint fixture: floating-point accumulation
+// ordered by map iteration.
+package detorder
+
+import "sort"
+
+func nondeterministic(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "nondeterministic"
+	}
+	return sum
+}
+
+func nondeterministicInClosure(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		func(x float64) {
+			sum -= x // want "nondeterministic"
+		}(v)
+	}
+	return sum
+}
+
+func integerCountIsFine(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sortedKeysAreFine(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}

@@ -1,0 +1,44 @@
+// Package errcheck is a lint fixture: dropped errors and library
+// panics.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func drops() {
+	mayFail() // want "error return silently dropped"
+}
+
+func acknowledged() {
+	_ = mayFail() // explicit discard: fine
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func errorFreeWriters() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x=%d\n", 1) // strings.Builder never fails: fine
+	sb.WriteString("y\n")
+	return sb.String()
+}
+
+func panics() {
+	panic("no") // want "panic in library code"
+}
+
+func justifiedPanic(n int) {
+	if n < 0 {
+		//lint:panic-ok fixture: documented precondition, exercised by the suppression test
+		panic("negative n")
+	}
+}

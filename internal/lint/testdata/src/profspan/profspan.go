@@ -1,0 +1,58 @@
+// Package profspan is a lint fixture: prof span Begin/End pairing and
+// canonical phase names.
+package profspan
+
+import "petscfun3d/internal/prof"
+
+func deferred() {
+	sp := prof.Begin(prof.PhaseFlux)
+	defer sp.End(0, 0)
+}
+
+func deferredInLiteral() {
+	sp := prof.Begin(prof.PhaseJacobian)
+	defer func() { sp.End(0, 0) }()
+}
+
+func sequential(n int) int {
+	sp := prof.Begin(prof.PhaseOrtho)
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	sp.End(0, 0)
+	return s
+}
+
+func endDirectlyBeforeReturn(cond bool) int {
+	sp := prof.Begin(prof.PhaseKrylov)
+	if cond {
+		sp.End(0, 0)
+		return 1
+	}
+	sp.End(0, 0)
+	return 0
+}
+
+func leakyEarlyReturn(err error) error {
+	sp := prof.Begin(prof.PhaseKrylov)
+	if err != nil {
+		return err // want "return may leave prof span"
+	}
+	sp.End(0, 0)
+	return nil
+}
+
+func neverClosed() {
+	sp := prof.Begin(prof.PhaseFlux) // want "never closed"
+	_ = sp
+}
+
+func unbound() {
+	prof.Begin(prof.PhaseFlux) // want "must be bound to a local variable"
+}
+
+func adHocPhase() {
+	sp := prof.Begin(prof.Phase(42)) // want "canonical prof.Phase constant"
+	sp.End(0, 0)
+}

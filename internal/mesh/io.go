@@ -24,20 +24,23 @@ import (
 
 // Write serializes the mesh.
 func (m *Mesh) Write(w io.Writer) error {
+	// bufio.Writer latches the first write error and every later write
+	// is a no-op; Flush reports it, so intermediate results are
+	// deliberately discarded.
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "fun3dmesh 1")
-	fmt.Fprintf(bw, "vertices %d\n", m.NumVertices())
+	_, _ = fmt.Fprintln(bw, "fun3dmesh 1")
+	_, _ = fmt.Fprintf(bw, "vertices %d\n", m.NumVertices())
 	for v := 0; v < m.NumVertices(); v++ {
 		c := m.Coords[v]
 		kind := BNone
 		if m.BKind != nil {
 			kind = m.BKind[v]
 		}
-		fmt.Fprintf(bw, "%.17g %.17g %.17g %d\n", c.X, c.Y, c.Z, kind)
+		_, _ = fmt.Fprintf(bw, "%.17g %.17g %.17g %d\n", c.X, c.Y, c.Z, kind)
 	}
-	fmt.Fprintf(bw, "tets %d\n", m.NumTets())
+	_, _ = fmt.Fprintf(bw, "tets %d\n", m.NumTets())
 	for _, t := range m.Tets {
-		fmt.Fprintf(bw, "%d %d %d %d\n", t[0], t[1], t[2], t[3])
+		_, _ = fmt.Fprintf(bw, "%d %d %d %d\n", t[0], t[1], t[2], t[3])
 	}
 	return bw.Flush()
 }

@@ -94,6 +94,25 @@ func (p Phase) String() string {
 	return fmt.Sprintf("phase(%d)", int(p))
 }
 
+// PhaseNames returns the canonical phase taxonomy — the only names that
+// can appear in reports and profile JSON. Tests assert emitted profiles
+// stay within it.
+func PhaseNames() []string {
+	names := make([]string, numPhases)
+	copy(names, phaseNames[:])
+	return names
+}
+
+// IsPhaseName reports whether name belongs to the canonical taxonomy.
+func IsPhaseName(name string) bool {
+	for _, n := range phaseNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Category returns the machine.Report bucket the phase belongs to:
 // "compute", "scatter" (ghost-point scatters), or "reduce" (global
 // reductions). The measured scatter/reduce seconds include blocking
@@ -202,14 +221,26 @@ func (s Span) End(flops, bytes int64) {
 	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.stack) == 0 {
-		return // disabled (and stack cleared) while the span was open
+	// Find this span's frame. Normally it is the top of the stack; if a
+	// nested span leaked (opened but never closed — the bug the profspan
+	// analyzer exists to prevent), unwind past the leaked frames so one
+	// leak does not silently discard this End and corrupt every ancestor
+	// phase's accounting. Leaked frames are dropped uncharged (their
+	// counts never arrived); their wall time folds into this span's self
+	// time. Searching from the top finds the innermost frame, so nested
+	// same-phase spans (recursion) still pair correctly.
+	idx := -1
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i].phase == s.phase {
+			idx = i
+			break
+		}
 	}
-	top := p.stack[len(p.stack)-1]
-	if top.phase != s.phase {
-		return // unbalanced Begin/End (concurrent misuse); drop
+	if idx < 0 {
+		return // no live Begin: disabled while open, or misuse
 	}
-	p.stack = p.stack[:len(p.stack)-1]
+	top := p.stack[idx]
+	p.stack = p.stack[:idx]
 	elapsed := now.Sub(top.start).Nanoseconds()
 	if elapsed < 0 {
 		elapsed = 0

@@ -194,3 +194,53 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		p.Begin(PhaseFlux).End(0, 0)
 	}
 }
+
+func TestEndUnwindsLeakedSpans(t *testing.T) {
+	p := New()
+	p.Enable()
+	outer := p.Begin(PhaseKrylov)
+	p.Begin(PhaseOrtho) // leaked: never closed (an early-return bug)
+	time.Sleep(time.Millisecond)
+	outer.End(7, 9)
+	p.Disable()
+
+	rep := p.Report(0)
+	stats := map[string]PhaseStat{}
+	for _, st := range rep.Phases {
+		stats[st.Phase] = st
+	}
+	// The leaked ortho span must not swallow the outer End: krylov is
+	// still charged, with the leaked frame's time in its self time.
+	k, ok := stats["krylov"]
+	if !ok {
+		t.Fatal("leaked nested span discarded the outer phase entirely")
+	}
+	if k.Calls != 1 || k.Flops != 7 || k.Bytes != 9 {
+		t.Fatalf("outer span miscounted after unwind: %+v", k)
+	}
+	if k.Seconds <= 0 {
+		t.Fatalf("outer span lost its wall time: %+v", k)
+	}
+	// The leaked span itself is dropped uncharged.
+	if o, ok := stats["ortho"]; ok && o.Calls != 0 {
+		t.Fatalf("leaked span was charged: %+v", o)
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Fatal("root time lost after unwind")
+	}
+}
+
+func TestPhaseNamesTaxonomy(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != int(numPhases) {
+		t.Fatalf("PhaseNames returned %d names, want %d", len(names), int(numPhases))
+	}
+	for _, n := range names {
+		if !IsPhaseName(n) {
+			t.Fatalf("IsPhaseName(%q) = false for a canonical name", n)
+		}
+	}
+	if IsPhaseName("warp_drive") {
+		t.Fatal("IsPhaseName accepted a name outside the taxonomy")
+	}
+}

@@ -48,7 +48,7 @@ func NewCoarseLevel(a *sparse.BCSR, part []int32, nparts int) (*CoarseLevel, err
 			k := int64(p)<<32 | int64(q)
 			if !coupled[k] {
 				coupled[k] = true
-				rows[p] = append(rows[p], q)
+				rows[p] = append(rows[p], q) //lint:alloc-ok one-time coarse-pattern discovery at setup
 			}
 		}
 	}

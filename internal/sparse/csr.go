@@ -45,6 +45,7 @@ func (a *CSR) Bandwidth() int {
 // MulVec computes y = A x.
 func (a *CSR) MulVec(x, y []float64) {
 	if len(x) < a.N || len(y) < a.N {
+		//lint:panic-ok kernel precondition: a dimension mismatch is caller misuse caught before the bandwidth-limited sweep
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: N=%d len(x)=%d len(y)=%d", a.N, len(x), len(y)))
 	}
 	for i := 0; i < a.N; i++ {
@@ -132,7 +133,7 @@ type Builder struct {
 func NewBuilder(n int) *Builder {
 	rows := make([]map[int32]float64, n)
 	for i := range rows {
-		rows[i] = make(map[int32]float64, 16)
+		rows[i] = make(map[int32]float64, 16) //lint:alloc-ok one-time builder initialization
 	}
 	return &Builder{n: n, rows: rows}
 }
@@ -156,12 +157,12 @@ func (b *Builder) Build() *CSR {
 	for i := 0; i < b.n; i++ {
 		cols = cols[:0]
 		for j := range b.rows[i] {
-			cols = append(cols, j)
+			cols = append(cols, j) //lint:alloc-ok assembly-time row staging; cols is reused across rows
 		}
-		sort.Slice(cols, func(p, q int) bool { return cols[p] < cols[q] })
+		sort.Slice(cols, func(p, q int) bool { return cols[p] < cols[q] }) //lint:alloc-ok sort comparator at one-time assembly
 		for _, j := range cols {
-			a.ColIdx = append(a.ColIdx, j)
-			a.Val = append(a.Val, b.rows[i][j])
+			a.ColIdx = append(a.ColIdx, j)      //lint:alloc-ok appends into capacity preallocated to the exact nnz
+			a.Val = append(a.Val, b.rows[i][j]) //lint:alloc-ok appends into capacity preallocated to the exact nnz
 		}
 		a.RowPtr[i+1] = int32(len(a.ColIdx))
 	}
