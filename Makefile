@@ -27,3 +27,4 @@ race:
 
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./...
+	go run ./cmd/benchtables -experiment table3measured -size medium | tee BENCH_scatterwait.txt

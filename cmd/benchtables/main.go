@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table4|table5|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
+//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table3measured|table4|table5|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
 package main
 
 import (
@@ -89,6 +89,14 @@ func main() {
 			// rather than solving twice.
 			return r.Render() + "\n" + r.Figure1Render(), nil
 		},
+		"table3measured": func() (string, error) {
+			r, err := experiments.Table3Measured(size)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("table3measured", r.WriteCSV)
+			return r.Render(), nil
+		},
 		"table4": func() (string, error) {
 			r, err := experiments.Table4(size)
 			if err != nil {
@@ -166,7 +174,7 @@ func main() {
 	}
 	order := []string{
 		"table1", "figure3", "missmodel", "spmvbound", "table2", "table3",
-		"figure2", "figure4", "figure5", "table4", "table5",
+		"table3measured", "figure2", "figure4", "figure5", "table4", "table5",
 		"ablation",
 	}
 	names := order

@@ -5,12 +5,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"petscfun3d/internal/core"
+	"petscfun3d/internal/experiments"
 	"petscfun3d/internal/machine"
 	"petscfun3d/internal/newton"
 	"petscfun3d/internal/perfmodel"
@@ -46,6 +51,7 @@ func main() {
 	edgeOrdering := flag.String("edge-ordering", "sorted", "sorted|colored flux loop order")
 	rcm := flag.Bool("rcm", true, "renumber vertices with Reverse Cuthill-McKee")
 	profileJSON := flag.String("profile-json", "", "measure per-phase wall time and write the profile report (JSON) to this file")
+	distRanks := flag.String("dist-ranks", "2,4,8", "with -profile-json and -ranks>1: rank counts for the measured overlapped-halo efficiency sweep (comma-separated, ascending; empty disables)")
 	flag.Parse()
 
 	cfg.TargetVertices = *vertices
@@ -111,7 +117,19 @@ func main() {
 			rep.PctReduce, rep.PctWait, rep.PctScatter)
 		fmt.Printf("  halo volume per exchange: %.2f MB total\n", float64(out.HaloBytesPerExchange)/1e6)
 		if *profileJSON != "" {
-			writeProfile(*profileJSON)
+			var eff []perfmodel.EfficiencyRow
+			if *distRanks != "" {
+				sweep, err := measuredSweep(out.Problem, cfg.Newton.CFL0, *distRanks)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("\n%s", sweep.Render())
+				eff = sweep.Rows
+				// Fold the sweep's measured scatter_pack / scatter_wait /
+				// interior / boundary phases into the written report.
+				prof.Default.Merge(sweep.Prof)
+			}
+			writeProfile(*profileJSON, eff)
 			printModeledVsMeasured(rep)
 		}
 		return
@@ -126,27 +144,62 @@ func main() {
 	fmt.Printf("wall time %v (%v per pseudo-timestep), %d vertices\n",
 		out.WallTime.Round(1e6), out.PerStep.Round(1e6), out.Problem.Mesh.NumVertices())
 	if *profileJSON != "" {
-		writeProfile(*profileJSON)
+		writeProfile(*profileJSON, nil)
 	}
 }
 
+// measuredSweep runs the measured overlapped-halo efficiency
+// decomposition (Table 3 from wall clocks) on the problem's actual
+// first-order Jacobian, pseudo-time-shifted at the initial CFL so the
+// system is as well-conditioned as the first Newton step's. The rank
+// goroutines use their own profilers — prof.Default assumes
+// single-goroutine span nesting — and the merged result is folded into
+// the default profile by the caller.
+func measuredSweep(p *core.Problem, cfl0 float64, rankList string) (*experiments.Table3MeasuredResult, error) {
+	var ranks []int
+	for _, f := range strings.Split(rankList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -dist-ranks entry %q: %v", f, err)
+		}
+		ranks = append(ranks, n)
+	}
+	q := p.Disc.FreestreamVector()
+	a := p.Disc.JacobianPattern()
+	if err := p.Disc.AssembleJacobian(q, a); err != nil {
+		return nil, err
+	}
+	newton.AddTimeDiagonal(a, p.Disc.TimeScales(q), cfl0)
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.19)
+	}
+	return experiments.MeasuredEfficiency(a, p.Graph, rhs, ranks)
+}
+
 // writeProfile measures the host's STREAM Triad bandwidth, writes the
-// accumulated phase profile as JSON, and prints the per-phase roofline
-// table.
-func writeProfile(path string) {
+// accumulated phase profile as JSON — with the measured efficiency
+// decomposition attached when a distributed sweep ran — and prints the
+// per-phase roofline table.
+func writeProfile(path string, eff []perfmodel.EfficiencyRow) {
 	prof.Default.Disable()
 	bw := stream.TriadBandwidth()
+	rep := prof.Default.Report(bw)
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := prof.Default.WriteJSON(f, bw); err != nil {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		prof.Report
+		Efficiency []perfmodel.EfficiencyRow `json:"efficiency,omitempty"`
+	}{rep, eff}); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	rep := prof.Default.Report(bw)
 	fmt.Printf("\nmeasured phases (%.3fs total, STREAM %.0f MB/s) -> %s\n",
 		rep.TotalSeconds, rep.StreamMBps, path)
 	fmt.Printf("%12s %8s %10s %10s %10s %8s\n", "phase", "calls", "seconds", "Mflop/s", "MB/s", "STREAM")
@@ -158,20 +211,20 @@ func writeProfile(path string) {
 
 // printModeledVsMeasured compares the virtual machine's modeled phase
 // mix with the measured one, in the machine.Report taxonomy. The
-// measured side is a sequential execution, so its scatter/reduce
-// buckets are empty — the point of the table is the compute split and
-// the modeled communication overhead on top of it.
+// measured scatter/wait buckets are filled by the distributed
+// efficiency sweep (scatter_pack and scatter_wait phases); without it
+// the sequential execution leaves them empty.
 func printModeledVsMeasured(rep machine.Report) {
 	cat := prof.Default.CategorySeconds()
 	var measured float64
-	for _, k := range []string{"compute", "scatter", "reduce"} {
+	for _, k := range []string{"compute", "scatter", "reduce", "wait"} {
 		measured += cat[k]
 	}
 	fmt.Printf("\n%12s %12s %12s\n", "category", "modeled(s)", "measured(s)")
 	fmt.Printf("%12s %12.3f %12.3f\n", "compute", rep.Compute, cat["compute"])
 	fmt.Printf("%12s %12.3f %12.3f\n", "scatter", rep.Scatter, cat["scatter"])
 	fmt.Printf("%12s %12.3f %12.3f\n", "reduce", rep.Reduce, cat["reduce"])
-	fmt.Printf("%12s %12.3f %12s\n", "wait", rep.Wait, "-")
+	fmt.Printf("%12s %12.3f %12.3f\n", "wait", rep.Wait, cat["wait"])
 	fmt.Printf("%12s %12.3f %12.3f\n", "total", rep.Elapsed, measured)
 }
 

@@ -32,10 +32,30 @@ type Matrix struct {
 
 	local *sparse.BCSR // NB = len(Owned), cols in extended numbering
 
-	// Halo exchange plan.
-	sendTo   map[int]([]int32) // peer -> local owned indices to send
-	recvFrom map[int]([]int32) // peer -> extended-local ghost indices to fill
-	peers    []int             // sorted peer ranks
+	// Interior/boundary row split, fixed at plan time: interior rows
+	// reference only owned columns, so they can be computed while the
+	// ghost exchange is in flight; boundary rows need ghost values and
+	// run after it. innerNNZB/bndNNZB count each set's stored blocks
+	// (they sum to the local matrix's total, so the split's flop
+	// accounting matches one full MulVec exactly).
+	interior  []int32
+	boundary  []int32
+	innerNNZB int
+	bndNNZB   int
+
+	// Halo exchange plan with persistent staging buffers.
+	halo *Halo
+
+	// extBuf is the persistent extended vector (owned prefix + ghost
+	// tail) reused by every MulVec — the hot path must not allocate.
+	extBuf []float64
+
+	// NoOverlap selects the pre-overlap blocking scatter (one
+	// PhaseScatter span folding the synchronization wait into the
+	// exchange) instead of the default overlapped path. The two paths
+	// are bitwise identical; the blocking one exists as the measured
+	// baseline the paper's Table 3 analysis starts from.
+	NoOverlap bool
 
 	// Diagonal block (owned x owned) for the block Jacobi factorization.
 	diag *sparse.BCSR
@@ -77,7 +97,7 @@ func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
 	m := &Matrix{Comm: c, B: a.B}
 	for i := int32(0); i < int32(a.NB); i++ {
 		if part[i] == me {
-			m.Owned = append(m.Owned, i)
+			m.Owned = append(m.Owned, i) //lint:alloc-ok one-time plan construction at partition setup
 		}
 	}
 	ghostSet := map[int32]bool{}
@@ -89,7 +109,7 @@ func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
 		}
 	}
 	for g := range ghostSet {
-		m.Ghosts = append(m.Ghosts, g)
+		m.Ghosts = append(m.Ghosts, g) //lint:alloc-ok one-time plan construction at partition setup
 	}
 	sort.Slice(m.Ghosts, func(i, j int) bool { return m.Ghosts[i] < m.Ghosts[j] })
 
@@ -107,9 +127,9 @@ func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
 	diagRows := make([][]int32, len(m.Owned))
 	for li, gr := range m.Owned {
 		for _, j := range a.ColIdx[a.RowPtr[gr]:a.RowPtr[gr+1]] {
-			rows[li] = append(rows[li], ext[j])
+			rows[li] = append(rows[li], ext[j]) //lint:alloc-ok one-time plan construction at partition setup
 			if part[j] == me {
-				diagRows[li] = append(diagRows[li], ext[j])
+				diagRows[li] = append(diagRows[li], ext[j]) //lint:alloc-ok one-time plan construction at partition setup
 			}
 		}
 	}
@@ -134,64 +154,62 @@ func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
 			}
 		}
 	}
-	// Halo negotiation: send each rank the list of its rows we need.
+	// Interior/boundary split: a row whose columns are all owned
+	// (extended-local index below len(Owned)) never reads the ghost
+	// tail, so it can be computed while the exchange is in flight.
+	nOwned := int32(len(m.Owned))
+	for li := 0; li < m.local.NB; li++ {
+		inner := true
+		for _, j := range m.local.ColIdx[m.local.RowPtr[li]:m.local.RowPtr[li+1]] {
+			if j >= nOwned {
+				inner = false
+				break
+			}
+		}
+		nnzb := int(m.local.RowPtr[li+1] - m.local.RowPtr[li])
+		if inner {
+			m.interior = append(m.interior, int32(li)) //lint:alloc-ok one-time plan construction at partition setup
+			m.innerNNZB += nnzb
+		} else {
+			m.boundary = append(m.boundary, int32(li)) //lint:alloc-ok one-time plan construction at partition setup
+			m.bndNNZB += nnzb
+		}
+	}
+	m.extBuf = make([]float64, (len(m.Owned)+len(m.Ghosts))*a.B)
+	// Halo negotiation: send each rank the list of its rows we need,
+	// then translate both directions into extended-local numbering.
 	needFrom := map[int][]int32{}
 	for _, g := range m.Ghosts {
-		needFrom[int(part[g])] = append(needFrom[int(part[g])], g)
+		needFrom[int(part[g])] = append(needFrom[int(part[g])], g) //lint:alloc-ok one-time plan negotiation at partition setup
 	}
-	m.sendTo = map[int][]int32{}
-	m.recvFrom = map[int][]int32{}
-	for q := 0; q < c.Size(); q++ {
-		if q == c.Rank() {
-			continue
-		}
-		req := needFrom[q]
-		enc := make([]float64, len(req))
-		for i, g := range req {
-			enc[i] = float64(g)
-		}
-		c.Send(q, tagPlan, enc)
-		if len(req) > 0 {
-			locs := make([]int32, len(req))
-			for i, g := range req {
-				locs[i] = ext[g]
-			}
-			m.recvFrom[q] = locs
-		}
+	asked, err := negotiateHalo(c, needFrom)
+	if err != nil {
+		return nil, err
 	}
-	for q := 0; q < c.Size(); q++ {
-		if q == c.Rank() {
-			continue
-		}
-		enc, err := c.Recv(q, tagPlan)
-		if err != nil {
-			return nil, err
-		}
-		if len(enc) == 0 {
-			continue
-		}
-		locs := make([]int32, len(enc))
-		for i, f := range enc {
-			gr := int32(f)
+	sendTo := map[int][]int32{}
+	for q, rows := range asked {
+		locs := make([]int32, len(rows)) //lint:alloc-ok one-time plan negotiation at partition setup
+		for i, gr := range rows {
 			li, ok := ext[gr]
 			if !ok || int(li) >= len(m.Owned) {
 				return nil, fmt.Errorf("dist: rank %d asked rank %d for row %d it does not own", q, me, gr)
 			}
 			locs[i] = li
 		}
-		m.sendTo[q] = locs
+		sendTo[q] = locs
 	}
-	peerSet := map[int]bool{}
-	for q := range m.sendTo {
-		peerSet[q] = true
+	recvFrom := map[int][]int32{}
+	for q, rows := range needFrom {
+		if len(rows) == 0 {
+			continue
+		}
+		locs := make([]int32, len(rows)) //lint:alloc-ok one-time plan negotiation at partition setup
+		for i, gr := range rows {
+			locs[i] = ext[gr]
+		}
+		recvFrom[q] = locs
 	}
-	for q := range m.recvFrom {
-		peerSet[q] = true
-	}
-	for q := range peerSet {
-		m.peers = append(m.peers, q)
-	}
-	sort.Ints(m.peers)
+	m.halo = newHalo(c, a.B, tagHalo, sendTo, recvFrom)
 	return m, nil
 }
 
@@ -204,50 +222,48 @@ const (
 func (m *Matrix) LocalN() int { return len(m.Owned) * m.B }
 
 // Scatter fills the ghost region of the extended vector xExt (length
-// LocalN()+len(Ghosts)*B) from the owning ranks; the owned prefix must
-// already hold this rank's values.
+// LocalN()+len(Ghosts)*B) from the owning ranks, blocking until done;
+// the owned prefix must already hold this rank's values. The wait is
+// folded into the scatter phase — use the overlapped MulVec to measure
+// it separately.
 func (m *Matrix) Scatter(xExt []float64) error {
-	b := m.B
-	sp := m.Prof.Begin(prof.PhaseScatter)
-	// Wire bytes both ways; the blocking receives fold the implicit
-	// synchronization wait into this phase's time.
-	defer sp.End(0, m.haloWireBytes())
-	for _, q := range m.peers {
-		locs := m.sendTo[q]
-		if len(locs) == 0 {
-			continue
-		}
-		buf := make([]float64, len(locs)*b)
-		for i, li := range locs {
-			copy(buf[i*b:(i+1)*b], xExt[int(li)*b:int(li)*b+b])
-		}
-		m.Comm.Send(q, tagHalo, buf)
-	}
-	for _, q := range m.peers {
-		locs := m.recvFrom[q]
-		if len(locs) == 0 {
-			continue
-		}
-		buf, err := m.Comm.Recv(q, tagHalo)
-		if err != nil {
-			return err
-		}
-		if len(buf) != len(locs)*b {
-			return fmt.Errorf("dist: halo from %d has %d values, want %d", q, len(buf), len(locs)*b)
-		}
-		for i, li := range locs {
-			copy(xExt[int(li)*b:int(li)*b+b], buf[i*b:(i+1)*b])
-		}
-	}
-	return nil
+	return m.halo.Exchange(m.Prof, xExt)
 }
 
 // MulVec computes the owned part of y = A x, where x and y are local
-// owned vectors (length LocalN()); one halo exchange per call.
+// owned vectors (length LocalN()); one halo exchange per call. By
+// default the exchange is overlapped with the interior rows (post,
+// compute interior, wait, compute boundary — the paper's first-order
+// scatter fix); NoOverlap selects the blocking baseline. Both paths
+// produce bitwise-identical y: they run the same per-row kernels, and
+// each row's dot product is independent of the order rows are visited.
 func (m *Matrix) MulVec(x, y []float64) error {
+	if m.NoOverlap {
+		return m.mulVecBlocking(x, y)
+	}
+	sp := m.Prof.Begin(prof.PhaseMatVec)
+	defer sp.End(0, 0) // the work is charged by the nested interior/boundary spans
+	ext := m.extBuf
+	copy(ext, x[:m.LocalN()])
+	m.halo.Start(m.Prof, ext)
+	isp := m.Prof.Begin(prof.PhaseInterior)
+	m.local.MulVecRows(m.interior, ext, y)
+	isp.End(sparse.MulVecRowsFlops(m.innerNNZB, m.B), sparse.MulVecRowsBytes(m.innerNNZB, len(m.interior), m.B))
+	if err := m.halo.Finish(m.Prof, ext); err != nil {
+		return err
+	}
+	bsp := m.Prof.Begin(prof.PhaseBoundary)
+	m.local.MulVecRows(m.boundary, ext, y)
+	bsp.End(sparse.MulVecRowsFlops(m.bndNNZB, m.B), sparse.MulVecRowsBytes(m.bndNNZB, len(m.boundary), m.B))
+	return nil
+}
+
+// mulVecBlocking is the pre-overlap baseline: one blocking scatter,
+// then the full local product.
+func (m *Matrix) mulVecBlocking(x, y []float64) error {
 	sp := m.Prof.Begin(prof.PhaseMatVec)
 	defer sp.End(m.local.MulVecFlops(), m.local.MulVecBytes())
-	ext := make([]float64, (len(m.Owned)+len(m.Ghosts))*m.B)
+	ext := m.extBuf
 	copy(ext, x[:m.LocalN()])
 	if err := m.Scatter(ext); err != nil {
 		return err

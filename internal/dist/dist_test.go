@@ -251,7 +251,7 @@ func TestDistributedProfileMeasuresCommunication(t *testing.T) {
 	for _, st := range rep.Phases {
 		got[st.Phase] = st
 	}
-	for _, want := range []string{"krylov", "matvec", "scatter", "reduce", "tri_solve", "ortho"} {
+	for _, want := range []string{"krylov", "matvec", "scatter_pack", "scatter_wait", "interior", "boundary", "reduce", "tri_solve", "ortho"} {
 		st, ok := got[want]
 		if !ok {
 			t.Fatalf("phase %q missing from merged report %v", want, rep.Phases)
@@ -260,20 +260,211 @@ func TestDistributedProfileMeasuresCommunication(t *testing.T) {
 			t.Fatalf("phase %q has calls=%d seconds=%g", want, st.Calls, st.Seconds)
 		}
 	}
-	if got["scatter"].Bytes <= 0 {
-		t.Error("scatter recorded no wire bytes")
+	if got["scatter_pack"].Bytes <= 0 || got["scatter_wait"].Bytes <= 0 {
+		t.Error("scatter phases recorded no bytes")
 	}
-	if got["scatter"].Category != "scatter" || got["reduce"].Category != "reduce" {
+	if got["scatter_pack"].Category != "scatter" || got["scatter_wait"].Category != "wait" || got["reduce"].Category != "reduce" {
 		t.Error("communication phases not in their machine.Report buckets")
 	}
-	if got["tri_solve"].Flops <= 0 || got["matvec"].Flops <= 0 {
+	if got["tri_solve"].Flops <= 0 || got["interior"].Flops <= 0 || got["boundary"].Flops <= 0 {
 		t.Error("compute phases recorded no flops")
 	}
-	// Every rank's scatters happen inside its matvecs: cumulative child
-	// time cannot exceed cumulative parent time.
-	if got["scatter"].CumulativeSeconds > got["matvec"].CumulativeSeconds {
-		t.Errorf("scatter cumulative %g exceeds matvec cumulative %g",
-			got["scatter"].CumulativeSeconds, got["matvec"].CumulativeSeconds)
+	// The interior/boundary split's flop accounting must equal one full
+	// MulVec per call: the two subsets partition the stored blocks.
+	if got["interior"].Flops+got["boundary"].Flops <= 0 {
+		t.Error("split matvec recorded no flops")
+	}
+	// Every rank's halo phases happen inside its matvecs: cumulative
+	// child time cannot exceed cumulative parent time.
+	for _, child := range []string{"scatter_pack", "scatter_wait", "interior", "boundary"} {
+		if got[child].CumulativeSeconds > got["matvec"].CumulativeSeconds {
+			t.Errorf("%s cumulative %g exceeds matvec cumulative %g",
+				child, got[child].CumulativeSeconds, got["matvec"].CumulativeSeconds)
+		}
+	}
+}
+
+// TestOverlappedMatVecBitwiseIdentical: the overlapped interior/boundary
+// split must reproduce the blocking path bit for bit on the same
+// partition — same per-row kernels, same accumulation order per row.
+func TestOverlappedMatVecBitwiseIdentical(t *testing.T) {
+	pr := buildTestProblem(t, 7, 6, 5, 4, 5)
+	b := 4
+	x := make([]float64, pr.a.N())
+	for i := range x {
+		x[i] = math.Cos(float64(i)*0.37) * math.Exp(math.Sin(float64(i)))
+	}
+	want := make([]float64, pr.a.N())
+	pr.a.MulVec(x, want)
+	err := mpi.Run(5, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		lx := make([]float64, dm.LocalN())
+		yOver := make([]float64, dm.LocalN())
+		yBlock := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lx[li*b:(li+1)*b], x[int(gr)*b:(int(gr)+1)*b])
+		}
+		if err := dm.MulVec(lx, yOver); err != nil {
+			return err
+		}
+		dm.NoOverlap = true
+		if err := dm.MulVec(lx, yBlock); err != nil {
+			return err
+		}
+		for i := range yOver {
+			if yOver[i] != yBlock[i] {
+				return fmt.Errorf("rank %d entry %d: overlapped %x vs blocking %x", c.Rank(), i, yOver[i], yBlock[i])
+			}
+		}
+		// Both agree with the sequential kernel to rounding (the ghost
+		// renumbering may permute a boundary row's column order, so the
+		// cross-code comparison is not bitwise).
+		for li, gr := range dm.Owned {
+			for cpt := 0; cpt < b; cpt++ {
+				if math.Abs(yOver[li*b+cpt]-want[int(gr)*b+cpt]) > 1e-12 {
+					return fmt.Errorf("row %d comp %d: %g vs sequential %g", gr, cpt, yOver[li*b+cpt], want[int(gr)*b+cpt])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymmetricPartitionZeroGhosts drives the overlapped MulVec on a
+// block-diagonal matrix whose components are split across ranks: some
+// ranks have no ghosts at all (pure interior, no exchange posted), and
+// the result must still match the sequential kernel. Run under -race
+// this also exercises the no-traffic edge of the request plumbing.
+func TestAsymmetricPartitionZeroGhosts(t *testing.T) {
+	// Two disconnected 4-row components: ranks 0/1 split the first
+	// (ghosts across the cut), rank 2 owns the second outright (zero
+	// ghosts).
+	const nb, b = 8, 4
+	rows := make([][]int32, nb)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			rows[i] = append(rows[i], int32(j))
+			rows[4+i] = append(rows[4+i], int32(4+j))
+		}
+	}
+	a := sparse.NewBCSRPattern(nb, b, rows)
+	a.FillDeterministic(7)
+	part := []int32{0, 0, 1, 1, 2, 2, 2, 2}
+	x := make([]float64, a.N())
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.7)
+	}
+	want := make([]float64, a.N())
+	a.MulVec(x, want)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, a, part)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 && len(dm.Ghosts) != 0 {
+			return fmt.Errorf("rank 2 should have zero ghosts, has %d", len(dm.Ghosts))
+		}
+		lx := make([]float64, dm.LocalN())
+		ly := make([]float64, dm.LocalN())
+		yBlock := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lx[li*b:(li+1)*b], x[int(gr)*b:(int(gr)+1)*b])
+		}
+		if err := dm.MulVec(lx, ly); err != nil {
+			return err
+		}
+		dm.NoOverlap = true
+		if err := dm.MulVec(lx, yBlock); err != nil {
+			return err
+		}
+		for i := range ly {
+			if ly[i] != yBlock[i] {
+				return fmt.Errorf("rank %d entry %d: overlapped %x vs blocking %x", c.Rank(), i, ly[i], yBlock[i])
+			}
+		}
+		// The ghost renumbering permutes some rows' column order on this
+		// partition, so sequential agreement is to rounding, not bitwise.
+		for li, gr := range dm.Owned {
+			for cpt := 0; cpt < b; cpt++ {
+				if math.Abs(ly[li*b+cpt]-want[int(gr)*b+cpt]) > 1e-12 {
+					return fmt.Errorf("rank %d row %d: %g vs %g", c.Rank(), gr, ly[li*b+cpt], want[int(gr)*b+cpt])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymmetricPartitionAllBoundaryRows gives one rank a share whose
+// every row touches a ghost column (empty interior set): the overlapped
+// path degenerates to post-wait-compute and must still be exact.
+func TestAsymmetricPartitionAllBoundaryRows(t *testing.T) {
+	// Dense 5-block-row coupling, rank 1 owning a single row: each of
+	// rank 1's rows (and several of rank 0's) reads ghost columns.
+	const nb, b = 5, 4
+	rows := make([][]int32, nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			rows[i] = append(rows[i], int32(j))
+		}
+	}
+	a := sparse.NewBCSRPattern(nb, b, rows)
+	a.FillDeterministic(23)
+	part := []int32{0, 0, 1, 0, 0}
+	x := make([]float64, a.N())
+	for i := range x {
+		x[i] = math.Cos(float64(i) * 1.3)
+	}
+	want := make([]float64, a.N())
+	a.MulVec(x, want)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, a, part)
+		if err != nil {
+			return err
+		}
+		if len(dm.interior) != 0 {
+			return fmt.Errorf("rank %d expected all-boundary rows, got %d interior", c.Rank(), len(dm.interior))
+		}
+		lx := make([]float64, dm.LocalN())
+		ly := make([]float64, dm.LocalN())
+		yBlock := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lx[li*b:(li+1)*b], x[int(gr)*b:(int(gr)+1)*b])
+		}
+		if err := dm.MulVec(lx, ly); err != nil {
+			return err
+		}
+		dm.NoOverlap = true
+		if err := dm.MulVec(lx, yBlock); err != nil {
+			return err
+		}
+		for i := range ly {
+			if ly[i] != yBlock[i] {
+				return fmt.Errorf("rank %d entry %d: overlapped %x vs blocking %x", c.Rank(), i, ly[i], yBlock[i])
+			}
+		}
+		// The ghost renumbering permutes some rows' column order on this
+		// partition, so sequential agreement is to rounding, not bitwise.
+		for li, gr := range dm.Owned {
+			for cpt := 0; cpt < b; cpt++ {
+				if math.Abs(ly[li*b+cpt]-want[int(gr)*b+cpt]) > 1e-12 {
+					return fmt.Errorf("rank %d row %d: %g vs %g", c.Rank(), gr, ly[li*b+cpt], want[int(gr)*b+cpt])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

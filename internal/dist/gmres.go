@@ -44,15 +44,16 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 
 	v := make([][]float64, mr+1)
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = make([]float64, n) //lint:alloc-ok one-time Krylov basis allocation at solve setup
 	}
 	h := make([][]float64, mr+1)
 	for i := range h {
-		h[i] = make([]float64, mr)
+		h[i] = make([]float64, mr) //lint:alloc-ok one-time Hessenberg allocation at solve setup
 	}
 	cs := make([]float64, mr)
 	sn := make([]float64, mr)
 	g := make([]float64, mr+1)
+	y := make([]float64, mr)
 	z := make([]float64, n)
 	w := make([]float64, n)
 	r := make([]float64, n)
@@ -145,7 +146,9 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 				break
 			}
 		}
-		y := make([]float64, j)
+		for i := 0; i < j; i++ {
+			y[i] = 0
+		}
 		for i := j - 1; i >= 0; i-- {
 			s := g[i]
 			for k := i + 1; k < j; k++ {

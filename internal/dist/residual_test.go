@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"petscfun3d/internal/euler"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/partition"
+	"petscfun3d/internal/prof"
+	"petscfun3d/internal/sparse"
+)
+
+func buildResidualProblem(t testing.TB, nx, ny, nz, nparts int) (*euler.Discretization, *partition.Partition, []float64) {
+	t.Helper()
+	m, err := mesh.GenerateWing(mesh.DefaultWingSpec(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := euler.NewDiscretization(m, nil, euler.NewIncompressible(), euler.Options{Order: 1, Layout: sparse.Interlaced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	p, err := partition.KWay(g, nparts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A smooth non-freestream state so every flux term is exercised.
+	q := d.FreestreamVector()
+	for i := range q {
+		q[i] += 0.05 * math.Sin(float64(i)*0.13)
+	}
+	return d, p, q
+}
+
+// TestDistributedResidualMatchesSequential: the overlapped
+// interior/frontier edge split must reproduce the sequential residual
+// on every owned vertex. Each rank's state holds garbage (NaN) at
+// every vertex it neither owns nor receives as a ghost, proving the
+// halo supplies exactly the state the frontier edges read.
+func TestDistributedResidualMatchesSequential(t *testing.T) {
+	const nranks = 4
+	d, p, q := buildResidualProblem(t, 7, 6, 5, nranks)
+	b := 4
+	want := make([]float64, d.N())
+	d.Residual(q, want)
+
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		rd, err := NewResidual(c, d, p.Part)
+		if err != nil {
+			return err
+		}
+		lq := make([]float64, d.N())
+		res := make([]float64, d.N())
+		for i := range lq {
+			lq[i] = math.NaN()
+		}
+		for v := int32(0); v < int32(d.M.NumVertices()); v++ {
+			if rd.Owned(v) {
+				copy(lq[int(v)*b:(int(v)+1)*b], q[int(v)*b:(int(v)+1)*b])
+			}
+		}
+		if err := rd.Eval(lq, res); err != nil {
+			return err
+		}
+		for v := int32(0); v < int32(d.M.NumVertices()); v++ {
+			if !rd.Owned(v) {
+				continue
+			}
+			for cpt := 0; cpt < b; cpt++ {
+				got, ref := res[int(v)*b+cpt], want[int(v)*b+cpt]
+				if math.IsNaN(got) || math.Abs(got-ref) > 1e-12 {
+					return fmt.Errorf("rank %d vertex %d comp %d: %g vs %g", c.Rank(), v, cpt, got, ref)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedResidualPhases: the overlapped Eval must charge the
+// flux, scatter_pack, scatter_wait, interior, and boundary phases.
+func TestDistributedResidualPhases(t *testing.T) {
+	const nranks = 3
+	d, p, q := buildResidualProblem(t, 6, 5, 4, nranks)
+	b := 4
+	profs := make([]*prof.Profiler, nranks)
+	for i := range profs {
+		profs[i] = prof.New()
+		profs[i].Enable()
+	}
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		rd, err := NewResidual(c, d, p.Part)
+		if err != nil {
+			return err
+		}
+		rd.Prof = profs[c.Rank()]
+		lq := make([]float64, d.N())
+		res := make([]float64, d.N())
+		for v := int32(0); v < int32(d.M.NumVertices()); v++ {
+			if rd.Owned(v) {
+				copy(lq[int(v)*b:(int(v)+1)*b], q[int(v)*b:(int(v)+1)*b])
+			}
+		}
+		return rd.Eval(lq, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := prof.New()
+	for _, pp := range profs {
+		merged.Merge(pp)
+	}
+	got := map[string]prof.PhaseStat{}
+	for _, st := range merged.Report(0).Phases {
+		got[st.Phase] = st
+	}
+	for _, want := range []string{"flux", "scatter_pack", "scatter_wait", "interior", "boundary"} {
+		st, ok := got[want]
+		if !ok {
+			t.Fatalf("phase %q missing from residual profile", want)
+		}
+		if st.Calls <= 0 {
+			t.Fatalf("phase %q recorded no calls", want)
+		}
+	}
+	if got["interior"].Flops <= 0 || got["boundary"].Flops <= 0 {
+		t.Error("edge subsets recorded no flops")
+	}
+}
+
+func TestNewResidualValidation(t *testing.T) {
+	d, p, _ := buildResidualProblem(t, 5, 4, 4, 2)
+	// Second-order discretizations are rejected before any communication.
+	d2, err := euler.NewDiscretization(d.M, d.Geo, d.Sys, euler.Options{Order: 2, Layout: sparse.Interlaced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := NewResidual(c, d2, p.Part); err == nil {
+			return fmt.Errorf("second-order discretization accepted")
+		}
+		if _, err := NewResidual(c, d, p.Part[:3]); err == nil {
+			return fmt.Errorf("short partition accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

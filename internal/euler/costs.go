@@ -25,6 +25,21 @@ func FluxTrafficBytes(nvLocal, b int, edgesLocal int64) int64 {
 	return int64(nvLocal)*int64(8*(2*b+3)) + edgesLocal*24
 }
 
+// EdgeSubsetFlops estimates the floating-point work of a ResidualEdges
+// pass over nEdges edges: the same per-edge flux arithmetic as the full
+// sweep.
+func EdgeSubsetFlops(nEdges, b int) int64 {
+	return int64(nEdges) * EdgeFluxFlops(b)
+}
+
+// EdgeSubsetBytes estimates the memory traffic of a ResidualEdges pass:
+// two state gathers, two residual read-modify-writes, and the streamed
+// edge normal per edge. Subset sweeps visit vertices in partition
+// order, so no whole-array reuse is assumed (unlike FluxTrafficBytes).
+func EdgeSubsetBytes(nEdges, b int) int64 {
+	return int64(nEdges) * int64(8*(2*b+2*2*b)+24)
+}
+
 // JacobianAssemblyFlops estimates per-edge work of the analytical
 // first-order Jacobian: two b×b physical Jacobians plus block
 // accumulation.

@@ -1,0 +1,84 @@
+package euler
+
+import "petscfun3d/internal/mesh"
+
+// Distributed-residual entry points: the edge loop split by vertex
+// ownership so a partitioned caller (internal/dist) can overlap the
+// ghost-state exchange with the interior edges. These helpers carry no
+// profiler spans of their own — each rank runs on its own goroutine
+// with its own profiler, and the process-wide prof.Default assumes
+// single-goroutine nesting — so the caller brackets them.
+
+// SplitEdges partitions the flux edges by the ownership predicate:
+// interior edges have both endpoints owned (computable before any ghost
+// state arrives), frontier edges have exactly one owned endpoint (they
+// read the neighbor's ghost state and contribute to the owned
+// endpoint's residual). Edges with no owned endpoint are dropped — they
+// contribute nothing to this rank's residual rows. Plan-time only.
+func (d *Discretization) SplitEdges(owned func(int32) bool) (interior, frontier []int32) {
+	for ei := range d.edges {
+		e := &d.edges[ei]
+		oa, ob := owned(e.a), owned(e.b)
+		switch {
+		case oa && ob:
+			interior = append(interior, int32(ei)) //lint:alloc-ok one-time plan construction at partition setup
+		case oa || ob:
+			frontier = append(frontier, int32(ei)) //lint:alloc-ok one-time plan construction at partition setup
+		}
+	}
+	return interior, frontier
+}
+
+// EdgeEndpoints returns the endpoints of flux edge ei (in the
+// discretization's iteration order), so a partitioned caller can plan
+// its ghost set without duplicating the edge list.
+func (d *Discretization) EdgeEndpoints(ei int32) (a, b int32) {
+	e := &d.edges[ei]
+	return e.a, e.b
+}
+
+// ResidualEdges accumulates the first-order convective flux of the
+// listed edges into r without zeroing it first, so a caller can sweep
+// disjoint edge subsets in separate passes (interior while the halo is
+// in flight, frontier after). Reconstruction, limiting, and diffusion
+// are not applied — the distributed residual path is first-order, as
+// the preconditioner side of the paper's solver is.
+func (d *Discretization) ResidualEdges(q, r []float64, edges []int32) {
+	b := d.Sys.B()
+	var qa, qb, flux, scratch [5]float64
+	for _, ei := range edges {
+		e := &d.edges[ei]
+		d.gather(q, e.a, qa[:b])
+		d.gather(q, e.b, qb[:b])
+		NumFlux(d.Sys, qa[:b], qb[:b], e.n, flux[:b], scratch[:b])
+		d.scatterAdd(r, e.a, flux[:b], +1)
+		d.scatterAdd(r, e.b, flux[:b], -1)
+	}
+}
+
+// BoundaryResidualMasked adds the boundary closure fluxes (weak
+// farfield and slip wall) for owned vertices only. owned must have
+// length NumVertices.
+func (d *Discretization) BoundaryResidualMasked(q, r []float64, owned []bool) {
+	b := d.Sys.B()
+	inf := d.Sys.Freestream()
+	var qi, flux, scratch [5]float64
+	for v := int32(0); v < int32(d.M.NumVertices()); v++ {
+		if !owned[v] {
+			continue
+		}
+		kind := d.M.BKind[v]
+		if kind == mesh.BNone {
+			continue
+		}
+		s := d.Geo.BoundaryArea[v]
+		d.gather(q, v, qi[:b])
+		switch kind {
+		case mesh.BInflow, mesh.BOutflow:
+			NumFlux(d.Sys, qi[:b], inf, s, flux[:b], scratch[:b])
+		case mesh.BWall:
+			d.wallFlux(qi[:b], s, flux[:b])
+		}
+		d.scatterAdd(r, v, flux[:b], +1)
+	}
+}

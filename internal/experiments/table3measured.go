@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"petscfun3d/internal/dist"
+	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/mesh"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/partition"
+	"petscfun3d/internal/perfmodel"
+	"petscfun3d/internal/prof"
+	"petscfun3d/internal/sparse"
+)
+
+// Table3MeasuredResult is the measured counterpart of Table 3: the
+// η_overall = η_alg · η_impl decomposition computed from real wall-clock
+// per-rank phase timings of the distributed GMRES (internal/dist on the
+// goroutine MPI runtime), not the virtual-machine model. Each rank
+// count is solved twice — once with the overlapped halo exchange and
+// once with the blocking pre-overlap scatter — so the table also shows
+// the measured scatter-wait shrinking strictly below the old blocking
+// scatter total.
+type Table3MeasuredResult struct {
+	Vertices int
+	B        int
+	Rows     []perfmodel.EfficiencyRow
+	// BlockingScatterMaxSec[i] is the blocking baseline's slowest-rank
+	// scatter total (pack + wire + implicit-synchronization wait folded
+	// together) at Rows[i].Procs; BlockingScatterAvgSec[i] the mean over
+	// ranks. Both come from the baseline's best (lowest slowest-rank
+	// total) rep.
+	BlockingScatterMaxSec []float64
+	BlockingScatterAvgSec []float64
+	// WaitMaxFloorSec[i] and BlockingScatterMaxFloorSec[i] are the
+	// noise floors — min over reps of the slowest-rank phase cost — of
+	// the overlapped scatter_wait and the blocking scatter. The floors
+	// are the robust overlapped-vs-blocking comparison: a single rep's
+	// max can be inflated by whichever rank the scheduler descheduled
+	// worst, and that tail noise exceeds the structural gap.
+	WaitMaxFloorSec            []float64
+	BlockingScatterMaxFloorSec []float64
+	// Prof holds the merged per-rank profilers of each rank count's
+	// chosen overlapped rep, so callers can fold the measured
+	// scatter_pack / scatter_wait / interior / boundary phases into a
+	// larger profile report (fun3d -profile-json does).
+	Prof *prof.Profiler
+}
+
+// Table3Measured runs the measured efficiency decomposition at the
+// canonical rank counts.
+func Table3Measured(size Size) (*Table3MeasuredResult, error) {
+	nv := pick(size, 1500, 45000, 180000)
+	return Table3MeasuredStudy(nv, []int{2, 4, 8})
+}
+
+// Table3MeasuredStudy solves one deterministic wing-mesh system (BCSR,
+// b=4, block Jacobi ILU(0), k-way partitions) at each rank count and
+// reduces the per-rank phase timings into the Table 3 columns.
+func Table3MeasuredStudy(nv int, ranks []int) (*Table3MeasuredResult, error) {
+	m, err := mesh.GenerateWingN(nv)
+	if err != nil {
+		return nil, err
+	}
+	m = m.Renumber(mesh.RCM(m))
+	const b = 4
+	g := sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
+	a := sparse.BlockPattern(g, b)
+	a.FillDeterministic(101)
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.19)
+	}
+	return MeasuredEfficiency(a, g, rhs, ranks)
+}
+
+// MeasuredEfficiency is the matrix-level entry point of the measured
+// Table 3: it partitions g, solves a·x = rhs with the distributed GMRES
+// at each rank count — overlapped, then again with the blocking
+// baseline scatter — and reduces the measured per-rank phase timings
+// into the efficiency decomposition. fun3d's -profile-json path calls
+// it with the real first-order Jacobian.
+func MeasuredEfficiency(a *sparse.BCSR, g sparse.Graph, rhs []float64, ranks []int) (*Table3MeasuredResult, error) {
+	res := &Table3MeasuredResult{Vertices: g.NV, B: a.B, Prof: prof.New()}
+	var runs []perfmodel.MeasuredRun
+	var err error
+	for _, p := range ranks {
+		part, err := partition.KWay(g, p)
+		if err != nil {
+			return nil, err
+		}
+		over, its, overFloor, overProf, err := solveMeasured(a, part.Part, rhs, p, false, measureReps)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, perfmodel.MeasuredRun{Procs: p, LinearIts: its, Ranks: over})
+		res.WaitMaxFloorSec = append(res.WaitMaxFloorSec, overFloor["scatter_wait"])
+		res.Prof.Merge(overProf)
+		block, _, blockFloor, _, err := solveMeasured(a, part.Part, rhs, p, true, measureReps)
+		if err != nil {
+			return nil, err
+		}
+		var maxScatter, sumScatter float64
+		for _, r := range block {
+			sumScatter += r["scatter"]
+			if r["scatter"] > maxScatter {
+				maxScatter = r["scatter"]
+			}
+		}
+		res.BlockingScatterMaxSec = append(res.BlockingScatterMaxSec, maxScatter)
+		res.BlockingScatterAvgSec = append(res.BlockingScatterAvgSec, sumScatter/float64(p))
+		res.BlockingScatterMaxFloorSec = append(res.BlockingScatterMaxFloorSec, blockFloor["scatter"])
+	}
+	res.Rows, err = perfmodel.DecomposeEfficiency(runs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// measureReps is how many times each configuration is solved; the rep
+// with the smallest slowest-rank total is kept. The solve is
+// deterministic, so repeated runs differ only in scheduler and GC
+// noise — taking the minimum filters descheduling outliers, which
+// matters when the rank goroutines time-slice on few cores.
+const measureReps = 5
+
+// solveMeasured runs one distributed GMRES reps times with a profiler
+// per rank and returns the least-noisy (lowest slowest-rank total)
+// rep's per-rank phase self-seconds, the iteration count, each phase's
+// noise floor (the min over reps of the slowest rank's self-seconds in
+// that phase), and the chosen rep's merged rank profilers.
+func solveMeasured(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOverlap bool, reps int) ([]perfmodel.RankPhases, int, map[string]float64, *prof.Profiler, error) {
+	var best []perfmodel.RankPhases
+	var bestProf *prof.Profiler
+	bestT := math.Inf(1)
+	var bestIts int
+	floor := map[string]float64{}
+	for rep := 0; rep < reps; rep++ {
+		ranks, its, merged, err := solveOnce(a, part, rhs, nranks, noOverlap)
+		if err != nil {
+			return nil, 0, nil, nil, err
+		}
+		var maxT float64
+		repMax := map[string]float64{}
+		for _, r := range ranks {
+			for ph, v := range r {
+				if v > repMax[ph] {
+					repMax[ph] = v
+				}
+			}
+			if t := r.Seconds(); t > maxT {
+				maxT = t
+			}
+		}
+		for ph, v := range repMax {
+			if prev, ok := floor[ph]; !ok || v < prev {
+				floor[ph] = v
+			}
+		}
+		if maxT < bestT {
+			bestT, best, bestIts, bestProf = maxT, ranks, its, merged
+		}
+	}
+	return best, bestIts, floor, bestProf, nil
+}
+
+// solveOnce is a single profiled distributed solve; it returns the
+// per-rank phase self-seconds, the iteration count, and the rank
+// profilers merged into one.
+func solveOnce(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOverlap bool) ([]perfmodel.RankPhases, int, *prof.Profiler, error) {
+	profs := make([]*prof.Profiler, nranks)
+	for i := range profs {
+		profs[i] = prof.New()
+		profs[i].Enable()
+	}
+	var its int
+	var itsMu sync.Mutex
+	b := a.B
+	err := mpi.Run(nranks, func(c *mpi.Comm) error {
+		dm, err := dist.NewMatrix(c, a, part)
+		if err != nil {
+			return err
+		}
+		dm.Prof = profs[c.Rank()]
+		dm.NoOverlap = noOverlap
+		solve, err := dm.BlockJacobi(ilu.Options{Level: 0})
+		if err != nil {
+			return err
+		}
+		lb := make([]float64, dm.LocalN())
+		lx := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lb[li*b:(li+1)*b], rhs[int(gr)*b:(int(gr)+1)*b])
+		}
+		st, err := dist.GMRES(dm, solve, lb, lx, dist.GMRESOptions{Restart: 30, MaxIters: 500, RelTol: 1e-8})
+		if err != nil {
+			return err
+		}
+		if !st.Converged {
+			return fmt.Errorf("experiments: distributed GMRES did not converge at %d ranks (res %g)", nranks, st.ResidualNorm)
+		}
+		itsMu.Lock()
+		its = st.Iterations
+		itsMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	merged := prof.New()
+	out := make([]perfmodel.RankPhases, nranks)
+	for i, pp := range profs {
+		merged.Merge(pp)
+		ph := perfmodel.RankPhases{}
+		for _, st := range pp.Report(0).Phases {
+			ph[st.Phase] = st.Seconds
+		}
+		out[i] = ph
+	}
+	return out, its, merged, nil
+}
+
+// Render formats the measured Table 3.
+func (t *Table3MeasuredResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3 (measured) — efficiency decomposition, %d vertices, b=%d, BJacobi+ILU(0), overlapped halo exchange\n",
+		t.Vertices, t.B)
+	fmt.Fprintf(&sb, "%6s %6s %10s %8s | %9s %7s %7s | %9s %9s %9s | %9s %9s %7s\n",
+		"Procs", "Its", "Time", "Speedup", "η_overall", "η_alg", "η_impl",
+		"wait max", "wait avg", "pack max", "wait flr", "blk flr", "imbal")
+	for i, r := range t.Rows {
+		fmt.Fprintf(&sb, "%6d %6d %9.4fs %8.2f | %9.2f %7.2f %7.2f | %8.4fs %8.4fs %8.4fs | %8.4fs %8.4fs %7.2f\n",
+			r.Procs, r.LinearIts, r.Seconds, r.Speedup, r.EffOverall, r.EffAlg, r.EffImpl,
+			r.WaitMaxSec, r.WaitAvgSec, r.PackMaxSec,
+			t.WaitMaxFloorSec[i], t.BlockingScatterMaxFloorSec[i], r.Imbalance)
+	}
+	sb.WriteString("wait = scatter_wait (the paper's implicit-synchronization sink). flr = min over reps of the\n" +
+		"slowest rank's phase cost (scheduler-noise floor); blk flr is the blocking baseline's whole scatter\n" +
+		"at the same rank count, which the overlapped wait floor undercuts.\n")
+	return sb.String()
+}
+
+// WriteCSV writes the measured decomposition as plot-ready CSV.
+func (t *Table3MeasuredResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "procs,its,seconds,speedup,eff_overall,eff_alg,eff_impl,wait_max_sec,wait_avg_sec,pack_max_sec,wait_max_floor_sec,blocking_scatter_max_sec,blocking_scatter_avg_sec,blocking_scatter_max_floor_sec,imbalance"); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			r.Procs, r.LinearIts, r.Seconds, r.Speedup, r.EffOverall, r.EffAlg, r.EffImpl,
+			r.WaitMaxSec, r.WaitAvgSec, r.PackMaxSec, t.WaitMaxFloorSec[i],
+			t.BlockingScatterMaxSec[i], t.BlockingScatterAvgSec[i],
+			t.BlockingScatterMaxFloorSec[i], r.Imbalance); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -65,9 +65,11 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		HotPackages: []string{
+			"petscfun3d/internal/dist",
 			"petscfun3d/internal/euler",
 			"petscfun3d/internal/ilu",
 			"petscfun3d/internal/krylov",
+			"petscfun3d/internal/mpi",
 			"petscfun3d/internal/sparse",
 			"petscfun3d/internal/schwarz",
 		},

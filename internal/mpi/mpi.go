@@ -10,6 +10,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // message is a tagged payload between two ranks.
@@ -25,11 +26,25 @@ type Comm struct {
 	w    *world
 }
 
+// pairState orders the traffic of one directed (from, to) pair: the
+// channel carries the payloads, and the send/recv ticket chains
+// serialize concurrent nonblocking operations so messages always match
+// in posting order (the FIFO guarantee real MPI gives per communicator
+// pair).
+type pairState struct {
+	ch chan message
+	// sendTail / recvTail are the completion signals of the most
+	// recently posted send / receive on this pair; the next operation
+	// waits for them before touching the channel. Guarded by mu.
+	mu       sync.Mutex
+	sendTail chan struct{}
+	recvTail chan struct{}
+}
+
 // world holds the shared channel fabric.
 type world struct {
-	size int
-	// chans[from*size+to] carries messages from->to.
-	chans []chan message
+	size  int
+	pairs []*pairState // pairs[from*size+to] carries messages from->to
 	// reduction fabric: one slot per rank, guarded rendezvous.
 	redMu   sync.Mutex
 	redCond *sync.Cond
@@ -40,28 +55,69 @@ type world struct {
 	redGen  int
 }
 
+// Options configures the communicator fabric. The zero value asks for
+// defaults.
+type Options struct {
+	// ChanCap is the per-pair channel capacity — the number of sends a
+	// rank can complete toward one peer before the peer receives any of
+	// them. 0 derives a default from the communicator size. Blocking
+	// Send deadlocks once a pair holds ChanCap undelivered messages
+	// (ISend does not: its delivery goroutine blocks instead of the
+	// rank), so patterns with deep outstanding-send windows should size
+	// the fabric explicitly.
+	ChanCap int
+}
+
+// DefaultChanCap returns the per-pair buffer depth used when Options
+// leaves ChanCap zero: deep enough that every rank can have several
+// collective-free exchange rounds in flight toward one peer, and grows
+// with the communicator so all-to-all bursts (size-1 sends per rank) fit.
+func DefaultChanCap(size int) int {
+	c := 4 * size
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
 // Run executes f on `size` ranks concurrently and waits for all of them.
 // The first non-nil error is returned (all ranks still run to
 // completion; a rank erroring early while others wait on communication
 // from it will deadlock, as real MPI does — keep rank programs SPMD).
-func Run(size int, f func(c *Comm) error) error {
+// Optional Options size the channel fabric (at most one may be given).
+func Run(size int, f func(c *Comm) error, opts ...Options) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: size %d < 1", size)
+	}
+	if len(opts) > 1 {
+		return fmt.Errorf("mpi: Run takes at most one Options, got %d", len(opts))
+	}
+	var o Options
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	if o.ChanCap < 0 {
+		return fmt.Errorf("mpi: negative ChanCap %d", o.ChanCap)
+	}
+	if o.ChanCap == 0 {
+		o.ChanCap = DefaultChanCap(size)
 	}
 	w := &world{size: size}
 	w.redCond = sync.NewCond(&w.redMu)
 	w.redVals = make([]float64, size)
-	w.chans = make([]chan message, size*size)
-	for i := range w.chans {
-		// Buffered so symmetric neighbor exchanges (everyone sends, then
-		// everyone receives) cannot deadlock.
-		w.chans[i] = make(chan message, 8)
+	w.pairs = make([]*pairState, size*size)
+	closed := make(chan struct{})
+	close(closed)
+	for i := range w.pairs {
+		//lint:alloc-ok one-time fabric construction at communicator startup
+		ch := make(chan message, o.ChanCap)
+		w.pairs[i] = &pairState{ch: ch, sendTail: closed, recvTail: closed}
 	}
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
 		wg.Add(1)
-		go func(rank int) {
+		go func(rank int) { //lint:alloc-ok one goroutine per rank at communicator startup
 			defer wg.Done()
 			errs[rank] = f(&Comm{rank: rank, size: size, w: w})
 		}(r)
@@ -81,20 +137,165 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.size }
 
-// Send delivers a copy of data to rank `to` with the given tag.
+// takeSendSlot reserves the next send turn on the pair, returning the
+// previous turn's completion signal and the channel to close when this
+// turn's message is in the fabric.
+func (p *pairState) takeSendSlot() (prev, done chan struct{}) {
+	done = make(chan struct{})
+	p.mu.Lock()
+	prev, p.sendTail = p.sendTail, done
+	p.mu.Unlock()
+	return prev, done
+}
+
+// takeRecvSlot reserves the next receive turn on the pair.
+func (p *pairState) takeRecvSlot() (prev, done chan struct{}) {
+	done = make(chan struct{})
+	p.mu.Lock()
+	prev, p.recvTail = p.recvTail, done
+	p.mu.Unlock()
+	return prev, done
+}
+
+// Request is an outstanding nonblocking operation (ISend or IRecv).
+// Wait blocks until the operation completes; for a receive it returns
+// the payload. Wait may be called more than once (later calls return
+// the same result) and from the posting rank's goroutine only.
+type Request struct {
+	done chan struct{}
+	data []float64 // receive payload (nil for sends)
+	err  error
+
+	// Deferred operations race a helper goroutine (progress when Wait
+	// comes late or never) against Wait itself (no scheduling handoff
+	// when it comes first); claimed arbitrates, run performs the op and
+	// closes done.
+	claimed int32
+	run     func()
+}
+
+// claim returns true exactly once per request.
+func (r *Request) claim() bool { return atomic.CompareAndSwapInt32(&r.claimed, 0, 1) }
+
+// Wait blocks until the operation completes. For an IRecv it returns
+// the received payload; for an ISend the data slice is nil. If the
+// operation has not started yet, Wait performs it on the calling
+// goroutine — on oversubscribed cores this skips the scheduling handoff
+// to a starved helper goroutine.
+func (r *Request) Wait() ([]float64, error) {
+	if r.run != nil && r.claim() {
+		r.run()
+	}
+	<-r.done
+	return r.data, r.err
+}
+
+// Send delivers a copy of data to rank `to` with the given tag. It
+// blocks while the pair already holds Options.ChanCap undelivered
+// messages; use ISend for communication/computation overlap or deep
+// outstanding-send windows.
 func (c *Comm) Send(to, tag int, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	c.w.chans[c.rank*c.size+to] <- message{tag: tag, data: cp}
+	p := c.w.pairs[c.rank*c.size+to]
+	prev, done := p.takeSendSlot()
+	<-prev
+	p.ch <- message{tag: tag, data: cp}
+	close(done)
+}
+
+// ISend posts a nonblocking send of a copy of data to rank `to`; the
+// caller may reuse data immediately. Delivery proceeds in posting order
+// per pair; Wait returns once the message is in the fabric (not
+// necessarily received, as with MPI's buffered sends). ISend never
+// deadlocks on fabric capacity — when the pair is free and the fabric
+// has room the message is delivered inline (an "eager" send), otherwise
+// a background goroutine absorbs the wait.
+func (c *Comm) ISend(to, tag int, data []float64) *Request {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	p := c.w.pairs[c.rank*c.size+to]
+	prev, done := p.takeSendSlot()
+	req := &Request{done: done}
+	// Eager path: if the previous send on this pair already completed
+	// and the channel has spare capacity, deliver without spawning a
+	// goroutine. On oversubscribed cores spawned delivery goroutines can
+	// be starved behind compute-bound ranks, which would stall the
+	// receiving peer's Wait for a scheduling quantum.
+	select {
+	case <-prev:
+		select {
+		case p.ch <- message{tag: tag, data: cp}:
+			close(done)
+			return req
+		default:
+		}
+	default:
+	}
+	req.run = func() {
+		<-prev
+		p.ch <- message{tag: tag, data: cp}
+		close(done)
+	}
+	go func() {
+		<-prev
+		if req.claim() {
+			req.run()
+		}
+	}()
+	return req
 }
 
 // Recv receives the next message from rank `from`; the tag must match
 // (messages between a pair are ordered, so SPMD programs with matching
 // send/recv sequences never mismatch).
+//
+// A tag mismatch is a protocol error that poisons the pair: the
+// mismatched message has already been consumed from the ordered stream
+// and is dropped (the error reports its tag and payload length), so
+// every later receive on the pair would see a shifted stream. Treat the
+// communicator as unusable after a non-nil error and tear the run down.
 func (c *Comm) Recv(from, tag int) ([]float64, error) {
-	m := <-c.w.chans[from*c.size+c.rank]
+	p := c.w.pairs[from*c.size+c.rank]
+	prev, done := p.takeRecvSlot()
+	<-prev
+	m := <-p.ch
+	close(done)
+	return checkTag(m, c.rank, from, tag)
+}
+
+// IRecv posts a nonblocking receive of the next message from rank
+// `from`. Receives match sends in posting order per pair (also relative
+// to blocking Recv calls). Wait returns the payload, or the Recv tag
+// mismatch error (see Recv for the poisoned-pair semantics).
+func (c *Comm) IRecv(from, tag int) *Request {
+	p := c.w.pairs[from*c.size+c.rank]
+	prev, done := p.takeRecvSlot()
+	req := &Request{done: done}
+	req.run = func() {
+		<-prev
+		m := <-p.ch
+		req.data, req.err = checkTag(m, c.rank, from, tag)
+		close(done)
+	}
+	go func() {
+		// Progress even if Wait is never called (e.g. a blocking Recv
+		// posted after this IRecv waits on its completion); the claim
+		// keeps exactly one of helper and Wait on the channel.
+		<-prev
+		if req.claim() {
+			req.run()
+		}
+	}()
+	return req
+}
+
+// checkTag validates a received message's tag.
+func checkTag(m message, rank, from, tag int) ([]float64, error) {
 	if m.tag != tag {
-		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag)
+		return nil, fmt.Errorf(
+			"mpi: rank %d expected tag %d from %d, got tag %d (%d-value payload dropped; the pair's message stream is poisoned — later receives will misalign)",
+			rank, tag, from, m.tag, len(m.data))
 	}
 	return m.data, nil
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -167,5 +168,232 @@ func TestRunPropagatesError(t *testing.T) {
 	})
 	if err == nil || err.Error() != "boom" {
 		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+// TestManyOutstandingSendsPerPair is the regression test for the fabric
+// sizing bug: the channel capacity was hard-coded to 8, so any pattern
+// with more than 8 outstanding sends toward one peer deadlocked
+// silently. The default capacity now derives from the communicator
+// size; every rank pushes well past the old limit before anyone
+// receives.
+func TestManyOutstandingSendsPerPair(t *testing.T) {
+	const size = 2
+	const msgs = 12 // > 8, the old hard-coded capacity
+	err := Run(size, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		for k := 0; k < msgs; k++ {
+			c.Send(peer, 100+k, []float64{float64(c.Rank()), float64(k)})
+		}
+		for k := 0; k < msgs; k++ {
+			got, err := c.Recv(peer, 100+k)
+			if err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != float64(peer) || got[1] != float64(k) {
+				return fmt.Errorf("rank %d message %d: payload %v", c.Rank(), k, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExplicitChanCap sizes the fabric explicitly and exchanges a
+// window deeper than blocking sends could otherwise absorb.
+func TestExplicitChanCap(t *testing.T) {
+	const size = 3
+	const msgs = 40
+	err := Run(size, func(c *Comm) error {
+		for q := 0; q < size; q++ {
+			if q == c.Rank() {
+				continue
+			}
+			for k := 0; k < msgs; k++ {
+				c.Send(q, k, []float64{float64(k)})
+			}
+		}
+		for q := 0; q < size; q++ {
+			if q == c.Rank() {
+				continue
+			}
+			for k := 0; k < msgs; k++ {
+				got, err := c.Recv(q, k)
+				if err != nil {
+					return err
+				}
+				if len(got) != 1 || got[0] != float64(k) {
+					return fmt.Errorf("rank %d from %d msg %d: %v", c.Rank(), q, k, got)
+				}
+			}
+		}
+		return nil
+	}, Options{ChanCap: msgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultChanCapGrowsWithSize(t *testing.T) {
+	if DefaultChanCap(2) < 16 {
+		t.Errorf("DefaultChanCap(2) = %d, want >= 16", DefaultChanCap(2))
+	}
+	if DefaultChanCap(64) <= DefaultChanCap(2) {
+		t.Error("default capacity does not grow with communicator size")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	noop := func(c *Comm) error { return nil }
+	if err := Run(2, noop, Options{ChanCap: -1}); err == nil {
+		t.Error("negative ChanCap accepted")
+	}
+	if err := Run(2, noop, Options{}, Options{}); err == nil {
+		t.Error("two Options accepted")
+	}
+}
+
+// TestISendIRecvCompletionOrdering posts a window of nonblocking sends
+// and receives and completes them out of order: messages must still
+// match in posting order per pair (the MPI FIFO guarantee), regardless
+// of the order Waits are issued in.
+func TestISendIRecvCompletionOrdering(t *testing.T) {
+	const window = 10
+	err := Run(2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		sends := make([]*Request, window)
+		recvs := make([]*Request, window)
+		for k := 0; k < window; k++ {
+			sends[k] = c.ISend(peer, 7, []float64{float64(k)})
+			recvs[k] = c.IRecv(peer, 7)
+		}
+		// Complete the receives back to front: request k must still
+		// carry the k-th posted payload.
+		for k := window - 1; k >= 0; k-- {
+			got, err := recvs[k].Wait()
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != float64(k) {
+				return fmt.Errorf("rank %d recv %d: payload %v, want [%d]", c.Rank(), k, got, k)
+			}
+		}
+		for _, s := range sends {
+			if _, err := s.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestISendBufferReusable asserts ISend's copy-at-post semantics: the
+// caller may scribble on the buffer immediately after posting.
+func TestISendBufferReusable(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		buf := []float64{42}
+		req := c.ISend(peer, 1, buf)
+		buf[0] = -1 // must not affect the in-flight payload
+		got, err := c.Recv(peer, 1)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			return fmt.Errorf("payload mutated after ISend: %v", got)
+		}
+		_, err = req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIRecvInterleavesWithBlockingRecv mixes IRecv and Recv on the same
+// pair: posting-order matching must hold across both forms.
+func TestIRecvInterleavesWithBlockingRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		for k := 0; k < 4; k++ {
+			c.Send(peer, k, []float64{float64(10 + k)})
+		}
+		r0 := c.IRecv(peer, 0)
+		v1, err := c.Recv(peer, 1)
+		if err != nil {
+			return err
+		}
+		r2 := c.IRecv(peer, 2)
+		v3, err := c.Recv(peer, 3)
+		if err != nil {
+			return err
+		}
+		v0, err := r0.Wait()
+		if err != nil {
+			return err
+		}
+		v2, err := r2.Wait()
+		if err != nil {
+			return err
+		}
+		for i, v := range [][]float64{v0, v1, v2, v3} {
+			if len(v) != 1 || v[0] != float64(10+i) {
+				return fmt.Errorf("rank %d slot %d: %v", c.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTagMismatchReportsPayload: the mismatch error must name both
+// tags and the length of the dropped payload, and flag the stream as
+// poisoned (the message is consumed, so later receives misalign).
+func TestRecvTagMismatchReportsPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1, 2, 3})
+			return nil
+		}
+		_, err := c.Recv(0, 9)
+		if err == nil {
+			return fmt.Errorf("tag mismatch accepted")
+		}
+		msg := err.Error()
+		for _, want := range []string{"tag 9", "tag 5", "3-value payload", "poisoned"} {
+			if !strings.Contains(msg, want) {
+				return fmt.Errorf("error %q missing %q", msg, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIRecvTagMismatch: the nonblocking receive surfaces the same
+// poisoned-pair error through Wait.
+func TestIRecvTagMismatch(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1})
+			return nil
+		}
+		_, err := c.IRecv(0, 6).Wait()
+		if err == nil || !strings.Contains(err.Error(), "poisoned") {
+			return fmt.Errorf("IRecv tag mismatch not surfaced: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -185,7 +185,7 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 			if err := d.AssembleJacobian(q, jac); err != nil {
 				return nil, err
 			}
-			addTimeDiagonal(jac, ts, cfl)
+			AddTimeDiagonal(jac, ts, cfl)
 			var err error
 			pc, err = s.PC(jac)
 			if err != nil {
@@ -284,8 +284,11 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 	return res, nil
 }
 
-// addTimeDiagonal adds ts[v]/cfl to the diagonal of every diagonal block.
-func addTimeDiagonal(a *sparse.BCSR, ts []float64, cfl float64) {
+// AddTimeDiagonal adds ts[v]/cfl to the diagonal of every diagonal
+// block — the pseudo-transient augmentation V/Δt of the Jacobian.
+// Exported so fun3d can build the same shifted operator for its
+// measured distributed-efficiency sweep.
+func AddTimeDiagonal(a *sparse.BCSR, ts []float64, cfl float64) {
 	b := a.B
 	for v := 0; v < a.NB; v++ {
 		blk, ok := a.BlockAt(v, v)

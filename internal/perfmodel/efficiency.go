@@ -1,0 +1,125 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Measured parallel-efficiency decomposition (Table 3 of the paper,
+// from real per-rank phase timings instead of the virtual-machine
+// model). The paper splits the overall efficiency at p processors
+// relative to a base run as
+//
+//	η_overall = η_alg · η_impl
+//
+// where η_alg = its_base / its_p charges efficiency lost to the
+// preconditioner weakening as subdomains shrink (more linear iterations
+// for the same nonlinear progress), and η_impl = η_overall / η_alg is
+// what the implementation loses per iteration — in this repository's
+// measured runs, dominated by the scatter_wait phase (the paper's
+// "implicit synchronization" column) and the scatter pack/unpack
+// traffic (its "scatter" column).
+
+// RankPhases is one rank's measured seconds by phase name (as reported
+// by prof.Report; self times, so phases do not double-count).
+type RankPhases map[string]float64
+
+// MeasuredRun is one solve at a given rank count: the per-rank phase
+// timings plus the linear iteration count the solve needed.
+type MeasuredRun struct {
+	Procs     int
+	LinearIts int
+	Ranks     []RankPhases
+}
+
+// EfficiencyRow is one line of the measured Table 3.
+type EfficiencyRow struct {
+	Procs      int     `json:"procs"`
+	Seconds    float64 `json:"seconds"`      // slowest rank's total phase time
+	LinearIts  int     `json:"linear_its"`   // iterations to converge
+	Speedup    float64 `json:"speedup"`      // vs the base run
+	EffOverall float64 `json:"eff_overall"`  // speedup / (p / p_base)
+	EffAlg     float64 `json:"eff_alg"`      // its_base / its_p
+	EffImpl    float64 `json:"eff_impl"`     // eff_overall / eff_alg
+	WaitMaxSec float64 `json:"wait_max_sec"` // max over ranks of scatter_wait
+	WaitAvgSec float64 `json:"wait_avg_sec"` // mean over ranks of scatter_wait
+	PackMaxSec float64 `json:"pack_max_sec"` // max over ranks of scatter_pack (+legacy scatter)
+	Imbalance  float64 `json:"imbalance"`    // max/avg of per-rank total time
+}
+
+// Seconds sums one rank's phase self-times (in sorted phase order, so
+// the float accumulation is deterministic).
+func (r RankPhases) Seconds() float64 {
+	keys := make([]string, 0, len(r))
+	for ph := range r {
+		keys = append(keys, ph)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, ph := range keys {
+		s += r[ph]
+	}
+	return s
+}
+
+// DecomposeEfficiency reduces measured runs (ascending rank counts;
+// the first is the base) into the paper's Table 3 columns. A run's
+// time is its slowest rank's total phase time — the synchronized
+// solve finishes when the last rank does — and the max-vs-avg ratio of
+// the per-rank totals is reported as the load imbalance the
+// implicit-synchronization wait absorbs.
+func DecomposeEfficiency(runs []MeasuredRun) ([]EfficiencyRow, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("perfmodel: no measured runs")
+	}
+	rows := make([]EfficiencyRow, 0, len(runs))
+	var base EfficiencyRow
+	for i, run := range runs {
+		if run.Procs < 1 || len(run.Ranks) != run.Procs {
+			return nil, fmt.Errorf("perfmodel: run %d has %d rank profiles for %d procs", i, len(run.Ranks), run.Procs)
+		}
+		if run.LinearIts < 1 {
+			return nil, fmt.Errorf("perfmodel: run %d has no linear iterations", i)
+		}
+		if i > 0 && run.Procs <= runs[i-1].Procs {
+			return nil, fmt.Errorf("perfmodel: rank counts must ascend, got %d after %d", run.Procs, runs[i-1].Procs)
+		}
+		var maxT, sumT float64
+		row := EfficiencyRow{Procs: run.Procs, LinearIts: run.LinearIts}
+		for _, r := range run.Ranks {
+			t := r.Seconds()
+			sumT += t
+			if t > maxT {
+				maxT = t
+			}
+			w := r["scatter_wait"]
+			row.WaitAvgSec += w
+			if w > row.WaitMaxSec {
+				row.WaitMaxSec = w
+			}
+			// The blocking baseline folds pack and wait into "scatter";
+			// count it with the pack column so pre-overlap runs decompose
+			// too.
+			if p := r["scatter_pack"] + r["scatter"]; p > row.PackMaxSec {
+				row.PackMaxSec = p
+			}
+		}
+		row.Seconds = maxT
+		row.WaitAvgSec /= float64(run.Procs)
+		if avg := sumT / float64(run.Procs); avg > 0 {
+			row.Imbalance = maxT / avg
+		}
+		if i == 0 {
+			base = row
+		}
+		if row.Seconds <= 0 || base.Seconds <= 0 {
+			return nil, fmt.Errorf("perfmodel: run %d measured no time", i)
+		}
+		row.Speedup = base.Seconds / row.Seconds
+		row.EffOverall = row.Speedup / (float64(row.Procs) / float64(base.Procs))
+		row.EffAlg = float64(base.LinearIts) / float64(row.LinearIts)
+		row.EffImpl = row.EffOverall / row.EffAlg
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,86 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecomposeEfficiencyIdentityBase(t *testing.T) {
+	runs := []MeasuredRun{
+		{Procs: 2, LinearIts: 10, Ranks: []RankPhases{
+			{"interior": 4, "boundary": 1, "scatter_wait": 0.5, "scatter_pack": 0.2},
+			{"interior": 4, "boundary": 1, "scatter_wait": 0.3, "scatter_pack": 0.2},
+		}},
+		{Procs: 4, LinearIts: 12, Ranks: []RankPhases{
+			{"interior": 2, "scatter_wait": 0.4},
+			{"interior": 2, "scatter_wait": 0.2},
+			{"interior": 2.2, "scatter_wait": 0.4},
+			{"interior": 2, "scatter_wait": 0.2},
+		}},
+	}
+	rows, err := DecomposeEfficiency(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	b := rows[0]
+	if b.Speedup != 1 || b.EffOverall != 1 || b.EffAlg != 1 || math.Abs(b.EffImpl-1) > 1e-15 {
+		t.Errorf("base row not identity: %+v", b)
+	}
+	// Base time = slowest rank = 4+1+0.5+0.2 = 5.7.
+	if math.Abs(b.Seconds-5.7) > 1e-12 {
+		t.Errorf("base seconds %g, want 5.7", b.Seconds)
+	}
+	if math.Abs(b.WaitMaxSec-0.5) > 1e-12 || math.Abs(b.WaitAvgSec-0.4) > 1e-12 {
+		t.Errorf("wait columns %g/%g, want 0.5/0.4", b.WaitMaxSec, b.WaitAvgSec)
+	}
+	r := rows[1]
+	// 4-proc time = 2.6; speedup 5.7/2.6; eff_overall = speedup/2.
+	wantSpeed := 5.7 / 2.6
+	if math.Abs(r.Speedup-wantSpeed) > 1e-12 {
+		t.Errorf("speedup %g, want %g", r.Speedup, wantSpeed)
+	}
+	if math.Abs(r.EffOverall-wantSpeed/2) > 1e-12 {
+		t.Errorf("eff_overall %g, want %g", r.EffOverall, wantSpeed/2)
+	}
+	if math.Abs(r.EffAlg-10.0/12.0) > 1e-12 {
+		t.Errorf("eff_alg %g, want %g", r.EffAlg, 10.0/12.0)
+	}
+	// The decomposition must close: eff_overall = eff_alg * eff_impl.
+	if math.Abs(r.EffAlg*r.EffImpl-r.EffOverall) > 1e-12 {
+		t.Errorf("decomposition does not close: %g * %g != %g", r.EffAlg, r.EffImpl, r.EffOverall)
+	}
+	if r.Imbalance < 1 {
+		t.Errorf("imbalance %g < 1", r.Imbalance)
+	}
+}
+
+func TestDecomposeEfficiencyLegacyScatterCountsAsPack(t *testing.T) {
+	rows, err := DecomposeEfficiency([]MeasuredRun{
+		{Procs: 1, LinearIts: 5, Ranks: []RankPhases{{"matvec": 1, "scatter": 0.25}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rows[0].PackMaxSec-0.25) > 1e-15 {
+		t.Errorf("blocking scatter not folded into pack column: %g", rows[0].PackMaxSec)
+	}
+}
+
+func TestDecomposeEfficiencyValidation(t *testing.T) {
+	if _, err := DecomposeEfficiency(nil); err == nil {
+		t.Error("empty runs accepted")
+	}
+	if _, err := DecomposeEfficiency([]MeasuredRun{{Procs: 2, LinearIts: 1, Ranks: []RankPhases{{}}}}); err == nil {
+		t.Error("mismatched rank count accepted")
+	}
+	if _, err := DecomposeEfficiency([]MeasuredRun{{Procs: 1, LinearIts: 0, Ranks: []RankPhases{{"a": 1}}}}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	ok := MeasuredRun{Procs: 2, LinearIts: 1, Ranks: []RankPhases{{"a": 1}, {"a": 1}}}
+	if _, err := DecomposeEfficiency([]MeasuredRun{ok, {Procs: 2, LinearIts: 1, Ranks: ok.Ranks}}); err == nil {
+		t.Error("non-ascending rank counts accepted")
+	}
+}

@@ -70,13 +70,32 @@ const (
 	// PhaseTriSolve is the ILU forward/backward triangular solve — the
 	// phase the paper pins at the STREAM limit.
 	PhaseTriSolve
-	// PhaseScatter is a ghost-point halo exchange in internal/dist
-	// (send/recv time including the implicit-synchronization wait for
-	// the partner to arrive).
+	// PhaseScatter is a *blocking* ghost-point halo exchange in
+	// internal/dist: send/recv time including the
+	// implicit-synchronization wait for the partner to arrive, folded
+	// into one number. The overlapped exchange splits this bucket into
+	// PhaseScatterPack and PhaseScatterWait.
 	PhaseScatter
 	// PhaseReduce is a global reduction in internal/dist (including the
 	// wait for the last rank).
 	PhaseReduce
+	// PhaseScatterPack is the pack/unpack half of an overlapped halo
+	// exchange: staging owned values into per-peer send buffers, posting
+	// the nonblocking sends/receives, and copying arrived values into the
+	// ghost region. Pure local memory traffic — no waiting.
+	PhaseScatterPack
+	// PhaseScatterWait is the wait half of an overlapped halo exchange:
+	// the time a rank blocks for ghost values still in flight after its
+	// interior work ran out. This is the paper's implicit-synchronization
+	// sink, measured separately from the scatter's data motion.
+	PhaseScatterWait
+	// PhaseInterior is the ghost-independent share of an overlapped
+	// kernel (matrix rows or flux edges with no ghost dependence),
+	// computed while the halo exchange is in flight.
+	PhaseInterior
+	// PhaseBoundary is the ghost-dependent remainder of an overlapped
+	// kernel, computed after the halo exchange completes.
+	PhaseBoundary
 	numPhases
 )
 
@@ -84,6 +103,7 @@ var phaseNames = [numPhases]string{
 	"newton", "flux", "gradient", "jacobian", "pc_setup", "ilu_factor",
 	"krylov", "matvec", "ortho", "pc_apply", "tri_solve",
 	"scatter", "reduce",
+	"scatter_pack", "scatter_wait", "interior", "boundary",
 }
 
 // String returns the phase's stable JSON/report name.
@@ -114,16 +134,20 @@ func IsPhaseName(name string) bool {
 }
 
 // Category returns the machine.Report bucket the phase belongs to:
-// "compute", "scatter" (ghost-point scatters), or "reduce" (global
-// reductions). The measured scatter/reduce seconds include blocking
-// wait, which the virtual machine accounts separately as implicit
-// synchronization.
+// "compute", "scatter" (ghost-point scatter data motion), "reduce"
+// (global reductions), or "wait" (implicit synchronization — the time a
+// rank blocks for in-flight ghost values). The blocking scatter phase
+// folds its wait into "scatter"; the overlapped exchange separates the
+// two, so the measured "wait" bucket lines up with machine.Report's
+// implicit-synchronization column.
 func (p Phase) Category() string {
 	switch p {
-	case PhaseScatter:
+	case PhaseScatter, PhaseScatterPack:
 		return "scatter"
 	case PhaseReduce:
 		return "reduce"
+	case PhaseScatterWait:
+		return "wait"
 	default:
 		return "compute"
 	}

@@ -115,6 +115,100 @@ func (a *BCSR) mulVec5(x, y []float64) {
 	}
 }
 
+// MulVecRows computes y[i] = (A x)[i] for the listed block rows only,
+// leaving every other row of y untouched. The per-row arithmetic is the
+// same as MulVec's (identical kernels, identical accumulation order),
+// so computing a partition of the rows in any order — e.g. interior
+// rows during a halo exchange and boundary rows after it — produces
+// results bitwise identical to one full MulVec.
+func (a *BCSR) MulVecRows(rows []int32, x, y []float64) {
+	if len(x) < a.N() || len(y) < a.N() {
+		//lint:panic-ok kernel precondition: a dimension mismatch is caller misuse caught before the bandwidth-limited sweep
+		panic(fmt.Sprintf("sparse: BCSR MulVecRows dimension mismatch: N=%d len(x)=%d len(y)=%d", a.N(), len(x), len(y)))
+	}
+	switch a.B {
+	case 4:
+		a.mulVecRows4(rows, x, y)
+	case 5:
+		a.mulVecRows5(rows, x, y)
+	default:
+		a.mulVecRowsGeneric(rows, x, y)
+	}
+}
+
+func (a *BCSR) mulVecRows4(rows []int32, x, y []float64) {
+	for _, i := range rows {
+		var s0, s1, s2, s3 float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.ColIdx[k]) * 4
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+			v := a.Val[k*16 : k*16+16 : k*16+16]
+			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3
+			s1 += v[4]*x0 + v[5]*x1 + v[6]*x2 + v[7]*x3
+			s2 += v[8]*x0 + v[9]*x1 + v[10]*x2 + v[11]*x3
+			s3 += v[12]*x0 + v[13]*x1 + v[14]*x2 + v[15]*x3
+		}
+		o := int(i) * 4
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+}
+
+func (a *BCSR) mulVecRows5(rows []int32, x, y []float64) {
+	for _, i := range rows {
+		var s0, s1, s2, s3, s4 float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.ColIdx[k]) * 5
+			x0, x1, x2, x3, x4 := x[j], x[j+1], x[j+2], x[j+3], x[j+4]
+			v := a.Val[k*25 : k*25+25 : k*25+25]
+			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3 + v[4]*x4
+			s1 += v[5]*x0 + v[6]*x1 + v[7]*x2 + v[8]*x3 + v[9]*x4
+			s2 += v[10]*x0 + v[11]*x1 + v[12]*x2 + v[13]*x3 + v[14]*x4
+			s3 += v[15]*x0 + v[16]*x1 + v[17]*x2 + v[18]*x3 + v[19]*x4
+			s4 += v[20]*x0 + v[21]*x1 + v[22]*x2 + v[23]*x3 + v[24]*x4
+		}
+		o := int(i) * 5
+		y[o], y[o+1], y[o+2], y[o+3], y[o+4] = s0, s1, s2, s3, s4
+	}
+}
+
+func (a *BCSR) mulVecRowsGeneric(rows []int32, x, y []float64) {
+	b := a.B
+	bb := b * b
+	for _, i := range rows {
+		ys := y[int(i)*b : int(i)*b+b]
+		for c := range ys {
+			ys[c] = 0
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.ColIdx[k]) * b
+			blk := a.Val[int(k)*bb : int(k+1)*bb]
+			for r := 0; r < b; r++ {
+				var sum float64
+				for c := 0; c < b; c++ {
+					sum += blk[r*b+c] * x[j+c]
+				}
+				ys[r] += sum
+			}
+		}
+	}
+}
+
+// MulVecRowsFlops returns the floating-point work of a MulVecRows over
+// a row subset holding nnzBlocks stored blocks of size b.
+func MulVecRowsFlops(nnzBlocks, b int) int64 {
+	return 2 * int64(nnzBlocks) * int64(b) * int64(b)
+}
+
+// MulVecRowsBytes returns the memory traffic of a MulVecRows over
+// nRows block rows holding nnzBlocks stored blocks of size b: blocks
+// and column indices read once, the destination rows written once, and
+// one source-vector gather per block (subset sweeps have no reuse
+// guarantee across the full source vector).
+func MulVecRowsBytes(nnzBlocks, nRows, b int) int64 {
+	bb := int64(b) * int64(b)
+	return int64(nnzBlocks)*(bb*8+4+int64(b)*8) + int64(nRows)*int64(b)*8
+}
+
 func (a *BCSR) mulVecGeneric(x, y []float64) {
 	b := a.B
 	bb := b * b
