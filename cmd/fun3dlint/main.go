@@ -2,16 +2,22 @@
 // suite (internal/lint): hot-path allocation discipline, profiler
 // Begin/End span pairing against the canonical phase taxonomy, cost
 // formula provenance for the roofline accounting, dropped errors and
-// library panics, and map-ordered floating-point reductions. It is part
-// of `make verify`; any finding fails the build.
+// library panics, map-ordered floating-point reductions, and the
+// commcheck family guarding the overlap path — request/Wait pairing,
+// tag registry discipline, overlap-window purity, and the flop-count
+// cross-checker. It is part of `make verify`; any finding fails the
+// build.
 //
 // Usage:
 //
-//	fun3dlint [-json] [packages]
+//	fun3dlint [-json] [-only analyzer] [packages]
 //
 // Packages are module-relative patterns ("./...", "./internal/...", or
-// plain package directories); the default is "./...". Exit status is 1
-// when findings are reported, 2 on load or usage errors.
+// plain package directories); the default is "./...". With -only, the
+// full suite still runs (so pragma hygiene stays whole-suite) but only
+// the named analyzer's findings are reported and counted toward the
+// exit status. Exit status is 1 when findings are reported, 2 on load
+// or usage errors.
 package main
 
 import (
@@ -21,25 +27,41 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"petscfun3d/internal/lint"
 )
 
+// reportSchemaVersion identifies the JSON output shape so CI consumers
+// can detect incompatible changes instead of misparsing them.
+const reportSchemaVersion = 1
+
+// report is the -json output: a versioned envelope, not a bare array,
+// so fields can be added without breaking consumers.
+type report struct {
+	Schema   int            `json:"schema"`
+	Findings []lint.Finding `json:"findings"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fun3dlint: ")
-	asJSON := flag.Bool("json", false, "report findings as a JSON array (for CI)")
+	asJSON := flag.Bool("json", false, "report findings as a versioned JSON object (for CI)")
+	only := flag.String("only", "", "report only this analyzer's findings")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
-		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [packages]\n")
+		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [-only analyzer] [packages]\n")
 		flag.PrintDefaults()
 		_, _ = fmt.Fprintf(out, "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			_, _ = fmt.Fprintf(out, "  %-10s %s\n", a.Name, a.Doc)
+			_, _ = fmt.Fprintf(out, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	if *only != "" && !knownAnalyzer(*only) {
+		os.Exit(fatal(fmt.Errorf("unknown analyzer %q (see fun3dlint -h for the list)", *only)))
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -56,20 +78,47 @@ func main() {
 	if err != nil {
 		os.Exit(fatal(err))
 	}
+	if *only != "" {
+		kept := findings[:0]
+		for _, f := range findings {
+			if f.Analyzer == *only {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
 	// Report file paths relative to the module root, the shape CI and
-	// editors expect.
+	// editors expect, then re-sort globally: per-package ordering is
+	// stable already, but the cross-package order must not depend on
+	// package load order.
 	for i := range findings {
 		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
 			findings[i].File = rel
 		}
 	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report{Schema: reportSchemaVersion, Findings: findings}); err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -80,6 +129,20 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// knownAnalyzer reports whether name is a suite analyzer or the
+// synthetic pragma-hygiene analyzer.
+func knownAnalyzer(name string) bool {
+	if name == "pragma" {
+		return true
+	}
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) int {

@@ -209,14 +209,9 @@ func NewMatrix(c *mpi.Comm, a *sparse.BCSR, part []int32) (*Matrix, error) {
 		}
 		recvFrom[q] = locs
 	}
-	m.halo = newHalo(c, a.B, tagHalo, sendTo, recvFrom)
+	m.halo = newHalo(c, a.B, mpi.TagHalo, sendTo, recvFrom)
 	return m, nil
 }
-
-const (
-	tagPlan = iota + 1
-	tagHalo
-)
 
 // LocalN returns the number of owned scalar unknowns.
 func (m *Matrix) LocalN() int { return len(m.Owned) * m.B }
@@ -245,7 +240,9 @@ func (m *Matrix) MulVec(x, y []float64) error {
 	defer sp.End(0, 0) // the work is charged by the nested interior/boundary spans
 	ext := m.extBuf
 	copy(ext, x[:m.LocalN()])
-	m.halo.Start(m.Prof, ext)
+	if err := m.halo.Start(m.Prof, ext); err != nil {
+		return err
+	}
 	isp := m.Prof.Begin(prof.PhaseInterior)
 	m.local.MulVecRows(m.interior, ext, y)
 	isp.End(sparse.MulVecRowsFlops(m.innerNNZB, m.B), sparse.MulVecRowsBytes(m.innerNNZB, len(m.interior), m.B))

@@ -514,3 +514,36 @@ func TestGMRESOptionValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHaloDoubleStartRejected pins the Start/Finish protocol guard: a
+// second Start while an exchange is in flight must fail loudly instead
+// of silently overwriting the posted requests (which would leak them
+// and misalign every later message on the pair streams). After Finish
+// the plan must be reusable.
+func TestHaloDoubleStartRejected(t *testing.T) {
+	pr := buildTestProblem(t, 6, 5, 4, 4, 3)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		ext := make([]float64, dm.LocalN()+len(dm.Ghosts)*dm.B)
+		if err := dm.halo.Start(dm.Prof, ext); err != nil {
+			return fmt.Errorf("rank %d first Start: %v", c.Rank(), err)
+		}
+		if err := dm.halo.Start(dm.Prof, ext); err == nil {
+			return fmt.Errorf("rank %d: second Start before Finish succeeded, want in-flight error", c.Rank())
+		}
+		if err := dm.halo.Finish(dm.Prof, ext); err != nil {
+			return fmt.Errorf("rank %d Finish: %v", c.Rank(), err)
+		}
+		// The guard resets: the plan is reusable after Finish.
+		if err := dm.halo.Exchange(dm.Prof, ext); err != nil {
+			return fmt.Errorf("rank %d reuse after Finish: %v", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

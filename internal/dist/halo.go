@@ -21,7 +21,7 @@ import (
 type Halo struct {
 	comm *mpi.Comm
 	b    int
-	tag  int
+	tag  mpi.Tag
 
 	peers   []int     // sorted peer ranks
 	sendIdx [][]int32 // per peer: block rows to pack from the source
@@ -31,12 +31,18 @@ type Halo struct {
 	sendReq  []*mpi.Request // per peer: in-flight sends (nil when idle)
 	recvReq  []*mpi.Request // per peer: in-flight receives
 	recvData [][]float64    // per peer: payloads stashed between wait and unpack
+
+	// inFlight guards the Start/Finish protocol: a second Start before
+	// Finish would silently overwrite the in-flight requests, leaking
+	// their progress goroutines and misaligning every later message on
+	// the pair streams.
+	inFlight bool
 }
 
 // newHalo builds the persistent plan from per-peer index lists.
 // sendTo[q] lists the source block rows to ship to rank q; recvFrom[q]
 // the destination block rows rank q fills here.
-func newHalo(c *mpi.Comm, b, tag int, sendTo, recvFrom map[int][]int32) *Halo {
+func newHalo(c *mpi.Comm, b int, tag mpi.Tag, sendTo, recvFrom map[int][]int32) *Halo {
 	h := &Halo{comm: c, b: b, tag: tag}
 	seen := map[int]bool{}
 	for q := range sendTo {
@@ -75,14 +81,14 @@ func negotiateHalo(c *mpi.Comm, needFrom map[int][]int32) (map[int][]int32, erro
 		for i, g := range req {
 			enc[i] = float64(g)
 		}
-		c.Send(q, tagPlan, enc)
+		c.Send(q, mpi.TagPlan, enc)
 	}
 	asked := map[int][]int32{}
 	for q := 0; q < c.Size(); q++ {
 		if q == c.Rank() {
 			continue
 		}
-		enc, err := c.Recv(q, tagPlan)
+		enc, err := c.Recv(q, mpi.TagPlan)
 		if err != nil {
 			return nil, err
 		}
@@ -101,8 +107,15 @@ func negotiateHalo(c *mpi.Comm, needFrom map[int][]int32) (map[int][]int32, erro
 // Start packs the boundary values out of x and posts the nonblocking
 // exchange (receives first, then sends). Only local memory traffic and
 // posting happen here — the time is the paper's scatter cost with the
-// wait stripped out; the wait is measured separately in Finish.
-func (h *Halo) Start(p *prof.Profiler, x []float64) {
+// wait stripped out; the wait is measured separately in Finish. A
+// second Start before Finish is a protocol error: the in-flight
+// requests would be overwritten (leaked) and every later message on
+// the pair streams would misalign.
+func (h *Halo) Start(p *prof.Profiler, x []float64) error {
+	if h.inFlight {
+		return fmt.Errorf("dist: halo Start while a previous exchange is still in flight; Finish it first")
+	}
+	h.inFlight = true
 	sp := p.Begin(prof.PhaseScatterPack)
 	defer sp.End(0, h.haloPackBytes())
 	b := h.b
@@ -122,6 +135,7 @@ func (h *Halo) Start(p *prof.Profiler, x []float64) {
 		}
 		h.sendReq[pi] = h.comm.ISend(q, h.tag, buf)
 	}
+	return nil
 }
 
 // Finish blocks until the exchange posted by Start completes and
@@ -158,6 +172,7 @@ func (h *Halo) Finish(p *prof.Profiler, x []float64) error {
 func (h *Halo) wait(p *prof.Profiler) error {
 	sp := p.Begin(prof.PhaseScatterWait)
 	defer sp.End(0, h.haloWireBytes())
+	h.inFlight = false
 	var firstErr error
 	for pi := range h.peers {
 		if h.recvReq[pi] == nil {

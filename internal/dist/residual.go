@@ -107,7 +107,7 @@ func NewResidual(c *mpi.Comm, d *euler.Discretization, part []int32) (*Residual,
 	}
 	// Global numbering on both sides: pack straight out of q, unpack
 	// straight into q.
-	r.halo = newHalo(c, d.Sys.B(), tagHalo, asked, needFrom)
+	r.halo = newHalo(c, d.Sys.B(), mpi.TagHalo, asked, needFrom)
 	return r, nil
 }
 
@@ -124,7 +124,9 @@ func (r *Residual) Eval(q, res []float64) error {
 		res[i] = 0
 	}
 	b := r.D.Sys.B()
-	r.halo.Start(r.Prof, q)
+	if err := r.halo.Start(r.Prof, q); err != nil {
+		return err
+	}
 	isp := r.Prof.Begin(prof.PhaseInterior)
 	r.D.ResidualEdges(q, res, r.interior)
 	isp.End(euler.EdgeSubsetFlops(len(r.interior), b), euler.EdgeSubsetBytes(len(r.interior), b))

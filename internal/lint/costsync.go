@@ -1,0 +1,576 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CostSync cross-checks the cost formulas against the kernels they
+// describe. costconst (already in the suite) guarantees every profiler
+// span charges through a shared formula; CostSync closes the remaining
+// gap — a formula that no longer matches the loop it models. It walks a
+// kernel's innermost loop bodies, counts floating-point multiply/add
+// (or load/store) operations symbolically per iteration, and verifies
+// the formula's leading coefficient — the finite difference of the
+// formula in its count variable — equals the counted per-iteration
+// work times the declared iteration multiplicity.
+//
+// The registry below declares, for each audited kernel, which innermost
+// loops (by source order) and which known vector calls (Dot/Axpy/Norm2)
+// carry the count variable's marginal work. It also pins the kernel's
+// total innermost-loop count, so restructuring a kernel (adding or
+// removing a loop) forces the registry — and with it the formula review
+// — to be revisited. Equivalence entries additionally pin pairs of
+// formulas that must agree (a split sweep must charge exactly what the
+// full sweep charges), which is what keeps the overlap path's
+// interior+boundary accounting conservative.
+//
+// Findings are not suppressible: a mismatch means either the kernel or
+// the formula is wrong, and both are this package's to fix.
+var CostSync = &Analyzer{
+	Name: "costsync",
+	Doc:  "cost formula coefficients match the kernel loops they model",
+	Run:  runCostSync,
+}
+
+// loopTerm attributes per-iteration kernel work to the count variable:
+// innermost loop `index` (source order) runs `mult` iterations per unit
+// of the formula's count variable.
+type loopTerm struct {
+	index int
+	mult  int64
+}
+
+// callTerm attributes a known O(n) vector call (Dot/Axpy/Norm2/Scale)
+// to the count variable: the `occurrence`-th call (source order) to
+// `name` contributes its per-element flops times `mult`.
+type callTerm struct {
+	name       string
+	occurrence int
+	mult       int64
+}
+
+// knownCallFlops is the per-element flop cost of the shared vector
+// kernels the audited code calls instead of open-coding.
+var knownCallFlops = map[string]int64{
+	"Dot":   2, // multiply + add per element
+	"Axpy":  2, // multiply + add per element
+	"Norm2": 2, // multiply + add per element
+	"Scale": 1, // multiply per element
+}
+
+// coefCheck is one kernel-vs-formula coefficient verification.
+type coefCheck struct {
+	pkg        string // import path the kernel and formula live in
+	kernel     string // "Func" or "Type.Method"
+	totalLoops int    // expected innermost-loop count (structure pin)
+	loops      []loopTerm
+	calls      []callTerm
+	formula    string // "Func" or "Type.Method" in the same package
+	countVar   string // formula variable to differentiate
+	env        map[string]int64
+	bytes      bool // count 8-byte float loads/stores instead of flops
+}
+
+// equivCheck pins two formulas to the same value under matched
+// assignments (e.g. a full sweep vs. the subset sweep covering it).
+type equivCheck struct {
+	pkg  string
+	fnA  string
+	envA map[string]int64
+	fnB  string
+	envB map[string]int64
+}
+
+// costChecks is the registry. Coefficients below are hand-derived from
+// the kernels; the analyzer re-derives the kernel side on every run, so
+// an edit to either side that changes the count breaks the build's lint
+// gate until the other side (and this registry) agrees.
+var costChecks = []coefCheck{
+	// sparse: one multiply and one add per stored scalar. The unrolled
+	// B=4 kernel does 32 flops per stored block (innermost k-loop);
+	// MulVecFlops' marginal per ColIdx entry is 2*B*B.
+	{pkg: "petscfun3d/internal/sparse", kernel: "BCSR.mulVec4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "BCSR.MulVecFlops",
+		countVar: "ColIdx", env: map[string]int64{"B": 4}},
+	{pkg: "petscfun3d/internal/sparse", kernel: "BCSR.mulVec5", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "BCSR.MulVecFlops",
+		countVar: "ColIdx", env: map[string]int64{"B": 5}},
+	{pkg: "petscfun3d/internal/sparse", kernel: "BCSR.mulVecRows4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MulVecRowsFlops",
+		countVar: "nnzBlocks", env: map[string]int64{"b": 4}},
+	{pkg: "petscfun3d/internal/sparse", kernel: "BCSR.mulVecRows5", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MulVecRowsFlops",
+		countVar: "nnzBlocks", env: map[string]int64{"b": 5}},
+
+	// dist: the reduce-phase dot is a single fused multiply-add sweep —
+	// 2 flops and 2 float loads (16 bytes) per scalar.
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "dotFlops",
+		countVar: "n", env: map[string]int64{}},
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "dotBytes",
+		countVar: "n", env: map[string]int64{}, bytes: true},
+	// dist GMRES orthogonalization at step j=0: the projection axpy
+	// (loop 4, 2 flops) plus the basis scale (loop 5, 1 flop); the dots
+	// inside are charged to the reduce phase by Dot itself, so they do
+	// not appear in orthoFlops.
+	{pkg: "petscfun3d/internal/dist", kernel: "GMRES", totalLoops: 13,
+		loops: []loopTerm{{4, 1}, {5, 1}}, formula: "orthoFlops",
+		countVar: "n", env: map[string]int64{"j": 0}},
+
+	// ilu: two flops per stored factor scalar. The forward c-loop
+	// (loop 0) runs B*B iterations of 2 flops per stored block — the
+	// forward and backward sweeps partition the blocks and run the same
+	// per-block arithmetic, so loop 0 carries the ColIdx marginal. The
+	// diagonal-inverse c-loop (loop 2) carries the per-row marginal.
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.Solve", totalLoops: 3,
+		loops: []loopTerm{{0, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "ColIdx", env: map[string]int64{"B": 4, "NB": 50}},
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.Solve", totalLoops: 3,
+		loops: []loopTerm{{2, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "NB", env: map[string]int64{"B": 4, "ColIdx": 500}},
+
+	// krylov orthogonalization at step j=0: one Dot (2) + one Axpy (2)
+	// in the MGS projection, the Norm2 (2, third occurrence — the first
+	// two normalize restart residuals), and the basis-scale loop (1).
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		loops:    []loopTerm{{9, 1}},
+		calls:    []callTerm{{"Dot", 0, 1}, {"Axpy", 0, 1}, {"Norm2", 2, 1}},
+		formula:  "orthoFlops",
+		countVar: "n", env: map[string]int64{"j": 0}},
+
+	// euler: structure pin only — the split-sweep kernel is one edge
+	// loop over shared flux calls; its accounting is tied to the full
+	// sweep by the equivalence check below.
+	{pkg: "petscfun3d/internal/euler", kernel: "Discretization.ResidualEdges", totalLoops: 1},
+
+	// Fixture package exercising the analyzer's positive and negative
+	// paths (internal/lint/testdata/src/costsync).
+	{pkg: "fixture/costsync", kernel: "Dot", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "dotFlops",
+		countVar: "n", env: map[string]int64{}},
+	{pkg: "fixture/costsync", kernel: "Axpy", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "axpyFlops",
+		countVar: "n", env: map[string]int64{}},
+}
+
+var equivChecks = []equivCheck{
+	// The split residual sweep must charge exactly what one full sweep
+	// charges — the conservation law behind the overlap path's
+	// interior+boundary phase decomposition.
+	{pkg: "petscfun3d/internal/euler",
+		fnA: "Discretization.SweepFlops", envA: map[string]int64{"edges": 7, "B": 5},
+		fnB: "EdgeSubsetFlops", envB: map[string]int64{"nEdges": 7, "b": 5}},
+	// Likewise the row-subset matvec against the full matvec.
+	{pkg: "petscfun3d/internal/sparse",
+		fnA: "BCSR.MulVecFlops", envA: map[string]int64{"ColIdx": 123, "B": 4},
+		fnB: "MulVecRowsFlops", envB: map[string]int64{"nnzBlocks": 123, "b": 4}},
+	{pkg: "fixture/costsync",
+		fnA: "fullFlops", envA: map[string]int64{"edges": 7},
+		fnB: "subsetFlops", envB: map[string]int64{"nEdges": 7}},
+}
+
+func runCostSync(pass *Pass) {
+	for _, c := range costChecks {
+		if c.pkg == pass.Pkg.Path {
+			runCoefCheck(pass, c)
+		}
+	}
+	for _, e := range equivChecks {
+		if e.pkg == pass.Pkg.Path {
+			runEquivCheck(pass, e)
+		}
+	}
+}
+
+func runCoefCheck(pass *Pass, c coefCheck) {
+	fd := findFuncDecl(pass.Pkg, c.kernel)
+	if fd == nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(),
+			"costsync registry names kernel %s.%s which no longer exists; update internal/lint/costsync.go", c.pkg, c.kernel)
+		return
+	}
+	loops := innermostLoops(fd.Body)
+	if len(loops) != c.totalLoops {
+		pass.Reportf(fd.Pos(),
+			"kernel %s has %d innermost loops, the costsync registry expects %d; the loop structure changed — re-derive the cost coefficients and update internal/lint/costsync.go",
+			c.kernel, len(loops), c.totalLoops)
+		return
+	}
+	if c.formula == "" {
+		return // structure pin only
+	}
+	var kernelCoef int64
+	for _, lt := range c.loops {
+		if lt.index >= len(loops) {
+			pass.Reportf(fd.Pos(), "costsync registry references loop %d of %s, which has %d", lt.index, c.kernel, len(loops))
+			return
+		}
+		kernelCoef += lt.mult * loopWork(pass.Pkg.Info, loops[lt.index], c.bytes)
+	}
+	for _, ct := range c.calls {
+		call := nthCall(pass.Pkg.Info, fd.Body, ct.name, ct.occurrence)
+		if call == nil {
+			pass.Reportf(fd.Pos(), "costsync registry references call %s #%d in %s, not found", ct.name, ct.occurrence, c.kernel)
+			return
+		}
+		kernelCoef += ct.mult * knownCallFlops[ct.name]
+	}
+	const base = 1000
+	env := map[string]int64{}
+	for k, v := range c.env {
+		env[k] = v
+	}
+	env[c.countVar] = base
+	f0, err := evalFormula(pass.Pkg, c.formula, env)
+	if err == nil {
+		env[c.countVar] = base + 1
+		var f1 int64
+		f1, err = evalFormula(pass.Pkg, c.formula, env)
+		if err == nil {
+			if marginal := f1 - f0; marginal != kernelCoef {
+				kind := "flops"
+				if c.bytes {
+					kind = "bytes"
+				}
+				pass.Reportf(fd.Pos(),
+					"kernel %s does %d %s per unit of %s (counted from its loops) but formula %s charges %d; the profiler's roofline accounting is drifting from the code",
+					c.kernel, kernelCoef, kind, c.countVar, c.formula, marginal)
+			}
+			return
+		}
+	}
+	pass.Reportf(fd.Pos(), "costsync cannot evaluate formula %s.%s: %v", c.pkg, c.formula, err)
+}
+
+func runEquivCheck(pass *Pass, e equivCheck) {
+	a, errA := evalFormula(pass.Pkg, e.fnA, e.envA)
+	if errA != nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "costsync cannot evaluate formula %s.%s: %v", e.pkg, e.fnA, errA)
+		return
+	}
+	b, errB := evalFormula(pass.Pkg, e.fnB, e.envB)
+	if errB != nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "costsync cannot evaluate formula %s.%s: %v", e.pkg, e.fnB, errB)
+		return
+	}
+	if a != b {
+		fd := findFuncDecl(pass.Pkg, e.fnB)
+		pos := pass.Pkg.Files[0].Pos()
+		if fd != nil {
+			pos = fd.Pos()
+		}
+		pass.Reportf(pos,
+			"formulas %s (= %d) and %s (= %d) disagree under matched assignments; the split sweep no longer charges what the full sweep charges",
+			e.fnA, a, e.fnB, b)
+	}
+}
+
+// findFuncDecl locates "Func" or "Type.Method" in the package.
+func findFuncDecl(pkg *Package, name string) *ast.FuncDecl {
+	typ, fn := "", name
+	for i := range name {
+		if name[i] == '.' {
+			typ, fn = name[:i], name[i+1:]
+			break
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn {
+				continue
+			}
+			if (typ != "") != (fd.Recv != nil) {
+				continue
+			}
+			if typ != "" && recvTypeName(fd) != typ {
+				continue
+			}
+			return fd
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the receiver's type name, stripping a pointer.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// innermostLoops returns the kernel's innermost for/range statements in
+// source order: loops containing no nested loop. Function literals are
+// opaque (their loops belong to the literal, as in the other analyzers).
+func innermostLoops(body *ast.BlockStmt) []ast.Node {
+	var out []ast.Node
+	shallowInspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !containsLoop(loopBody(n)) {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopWork counts one iteration of the loop body symbolically: in flops
+// mode, floating-point binary multiply/divide/add/subtract operations
+// plus compound assignments; in bytes mode, 8 bytes per floating-point
+// index load or store.
+func loopWork(info *types.Info, loop ast.Node, bytes bool) int64 {
+	var work int64
+	shallowInspect(loopBody(loop), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !bytes && isFloatOp(info, n.Op) && exprIsFloat(info, n.X) {
+				work++
+			}
+		case *ast.AssignStmt:
+			if !bytes && isFloatAssignOp(n.Tok) && len(n.Lhs) == 1 && exprIsFloat(info, n.Lhs[0]) {
+				work++
+			}
+		case *ast.IndexExpr:
+			if bytes && exprIsFloat(info, n) {
+				work += 8
+			}
+		}
+		return true
+	})
+	return work
+}
+
+func isFloatOp(info *types.Info, op token.Token) bool {
+	switch op {
+	case token.MUL, token.QUO, token.ADD, token.SUB:
+		return true
+	}
+	return false
+}
+
+func isFloatAssignOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func exprIsFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isFloat(tv.Type)
+}
+
+// nthCall returns the n-th (source order) call in body whose callee is
+// named `name`, or nil.
+func nthCall(info *types.Info, body *ast.BlockStmt, name string, n int) *ast.CallExpr {
+	var out *ast.CallExpr
+	seen := 0
+	shallowInspect(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil || obj.Name() != name {
+			return true
+		}
+		if seen == n {
+			out = call
+		}
+		seen++
+		return out == nil
+	})
+	return out
+}
+
+// evalFormula interprets a cost function symbolically: the body may be
+// a sequence of simple assignments followed by one return. Identifiers,
+// field selections (f.NB), len() of a field (len(a.ColIdx)), and 0-arg
+// method calls (d.Sys.B()) resolve through env by their last name;
+// integer conversions pass through; same-package calls recurse.
+func evalFormula(pkg *Package, name string, env map[string]int64) (int64, error) {
+	fd := findFuncDecl(pkg, name)
+	if fd == nil {
+		return 0, fmt.Errorf("formula %s not found", name)
+	}
+	locals := map[string]int64{}
+	for k, v := range env {
+		locals[k] = v
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, pn := range field.Names {
+				if _, ok := locals[pn.Name]; !ok {
+					return 0, fmt.Errorf("formula %s: parameter %s not assigned", name, pn.Name)
+				}
+			}
+		}
+	}
+	for _, st := range fd.Body.List {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return 0, fmt.Errorf("formula %s: unsupported assignment shape", name)
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return 0, fmt.Errorf("formula %s: unsupported assignment target", name)
+			}
+			v, err := evalExpr(pkg, st.Rhs[0], locals, env)
+			if err != nil {
+				return 0, err
+			}
+			locals[id.Name] = v
+		case *ast.ReturnStmt:
+			if len(st.Results) != 1 {
+				return 0, fmt.Errorf("formula %s: want a single return value", name)
+			}
+			return evalExpr(pkg, st.Results[0], locals, env)
+		default:
+			return 0, fmt.Errorf("formula %s: unsupported statement %T", name, st)
+		}
+	}
+	return 0, fmt.Errorf("formula %s: no return", name)
+}
+
+func evalExpr(pkg *Package, e ast.Expr, locals, env map[string]int64) (int64, error) {
+	info := pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			var v int64
+			if _, err := fmt.Sscan(tv.Value.ExactString(), &v); err == nil {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("unsupported literal %s", e.Value)
+	case *ast.Ident:
+		if v, ok := locals[e.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("unbound variable %s", e.Name)
+	case *ast.SelectorExpr:
+		if v, ok := locals[e.Sel.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("unbound field %s", e.Sel.Name)
+	case *ast.UnaryExpr:
+		v, err := evalExpr(pkg, e.X, locals, env)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == token.SUB {
+			return -v, nil
+		}
+		return 0, fmt.Errorf("unsupported unary op %v", e.Op)
+	case *ast.BinaryExpr:
+		x, err := evalExpr(pkg, e.X, locals, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := evalExpr(pkg, e.Y, locals, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, nil
+		case token.SUB:
+			return x - y, nil
+		case token.MUL:
+			return x * y, nil
+		case token.QUO:
+			if y == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return x / y, nil
+		}
+		return 0, fmt.Errorf("unsupported binary op %v", e.Op)
+	case *ast.CallExpr:
+		// len(x.F) → the count bound to F.
+		if isBuiltinCall(info, e, "len") {
+			return evalExpr(pkg, lenArgName(e.Args[0]), locals, env)
+		}
+		// Integer conversions pass through.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			return evalExpr(pkg, e.Args[0], locals, env)
+		}
+		obj := calleeObject(info, e)
+		if fn, ok := obj.(*types.Func); ok {
+			// 0-arg method call (d.Sys.B()): resolve by method name.
+			if sig := fn.Type().(*types.Signature); sig.Recv() != nil && len(e.Args) == 0 {
+				if v, ok := locals[fn.Name()]; ok {
+					return v, nil
+				}
+				return 0, fmt.Errorf("unbound method value %s()", fn.Name())
+			}
+			// Same-package function call: recurse.
+			if callee := findFuncDecl(pkg, fn.Name()); callee != nil && callee.Recv == nil {
+				sub := map[string]int64{}
+				i := 0
+				for _, field := range callee.Type.Params.List {
+					for _, pn := range field.Names {
+						if i >= len(e.Args) {
+							return 0, fmt.Errorf("call %s: argument count mismatch", fn.Name())
+						}
+						v, err := evalExpr(pkg, e.Args[i], locals, env)
+						if err != nil {
+							return 0, err
+						}
+						sub[pn.Name] = v
+						i++
+					}
+				}
+				return evalFormula(pkg, fn.Name(), sub)
+			}
+		}
+		return 0, fmt.Errorf("unsupported call")
+	}
+	return 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+// lenArgName reduces a len() argument to the ident carrying its count:
+// len(a.ColIdx) → ColIdx, len(edges) → edges.
+func lenArgName(e ast.Expr) ast.Expr {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel
+	}
+	return ast.Unparen(e)
+}

@@ -76,6 +76,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"costconst", false},
 		{"errcheck", false},
 		{"detorder", false},
+		{"reqwait", false},
+		{"tagconst", false},
+		{"overlapregion", false},
+		{"costsync", false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

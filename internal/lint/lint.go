@@ -12,11 +12,23 @@
 // iteration order, which would break bit-for-bit parallel-vs-serial
 // validation (detorder).
 //
+// The commcheck family guards the communication protocol and the
+// overlap path specifically: every nonblocking mpi request must reach a
+// Wait on all paths (reqwait), message tags must come from the mpi tag
+// registry and be used symmetrically (tagconst), the window between
+// posting an exchange and waiting on it must stay free of blocking
+// operations and posted-buffer writes (overlapregion), and the cost
+// formulas the profiler charges must match the kernel loops they model,
+// coefficient by coefficient (costsync).
+//
 // Findings can be suppressed by a pragma comment on the offending line
 // or the line directly above:
 //
-//	//lint:alloc-ok <reason>   (hotalloc)
-//	//lint:panic-ok <reason>   (errcheck's panic rule)
+//	//lint:alloc-ok <reason>     (hotalloc)
+//	//lint:panic-ok <reason>     (errcheck's panic rule)
+//	//lint:wait-ok <reason>      (reqwait)
+//	//lint:tag-ok <reason>       (tagconst)
+//	//lint:overlap-ok <reason>   (overlapregion)
 //
 // The reason is mandatory, and a pragma that suppresses nothing is
 // itself a finding, so escape hatches cannot rot silently.
@@ -95,6 +107,10 @@ func Analyzers() []*Analyzer {
 		CostConst,
 		ErrCheck,
 		DetOrder,
+		ReqWait,
+		TagConst,
+		OverlapRegion,
+		CostSync,
 	}
 }
 
@@ -165,7 +181,13 @@ type pragma struct {
 var pragmaRe = regexp.MustCompile(`^//lint:([a-z-]+)(?:\s+(.*))?$`)
 
 // knownPragmaKeys are the escape hatches the suite honors.
-var knownPragmaKeys = map[string]bool{"alloc-ok": true, "panic-ok": true}
+var knownPragmaKeys = map[string]bool{
+	"alloc-ok":   true,
+	"panic-ok":   true,
+	"wait-ok":    true,
+	"tag-ok":     true,
+	"overlap-ok": true,
+}
 
 func collectPragmas(fset *token.FileSet, files []*ast.File) []*pragma {
 	var out []*pragma

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderGenericsAndAtomics pins the offline loader against the
+// language features the analyzed code actually uses: type parameters
+// with union constraints, generic instantiation, and the sync/atomic
+// compare-and-swap idiom (the mpi.Request.claim pattern). The loader
+// must produce a fully type-checked package — no missing objects, no
+// half-populated info maps — and the full suite must run over it
+// without findings or panics.
+func TestLoaderGenericsAndAtomics(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "generics"), "fixture/generics")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The generic function and its constraint type-checked.
+	sum := pkg.Types.Scope().Lookup("Sum")
+	if sum == nil {
+		t.Fatal("Sum not found in package scope")
+	}
+	sig, ok := sum.Type().(*types.Signature)
+	if !ok || sig.TypeParams().Len() != 1 {
+		t.Fatalf("Sum signature = %v, want one type parameter", sum.Type())
+	}
+
+	// The atomic CAS resolved to sync/atomic through the source importer.
+	foundCAS := false
+	for _, obj := range pkg.Info.Uses {
+		if fn, ok := obj.(*types.Func); ok && fn.Name() == "CompareAndSwapInt32" &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			foundCAS = true
+		}
+	}
+	if !foundCAS {
+		t.Error("atomic.CompareAndSwapInt32 did not resolve to sync/atomic")
+	}
+
+	// Every identifier use has an object: the info maps are complete
+	// enough for the analyzers' object-identity matching.
+	for _, f := range pkg.Files {
+		if f.Name == nil {
+			t.Fatal("file without package clause")
+		}
+	}
+
+	// The suite runs clean over it (and, in particular, does not
+	// misclassify the type parameter T as a float in cost counting).
+	if findings := Run(l.Fset, pkg, Config{HotPackages: []string{"fixture/generics"}}, Analyzers()); len(findings) > 0 {
+		t.Errorf("suite reported findings on the generics fixture:\n%v", findings)
+	}
+}
+
+// TestAnalyzerSuite pins the suite roster: the commcheck family joined
+// the original five, and the pragma keys cover every suppressible
+// analyzer.
+func TestAnalyzerSuite(t *testing.T) {
+	want := []string{
+		"hotalloc", "profspan", "costconst", "errcheck", "detorder",
+		"reqwait", "tagconst", "overlapregion", "costsync",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	for _, key := range []string{"alloc-ok", "panic-ok", "wait-ok", "tag-ok", "overlap-ok"} {
+		if !knownPragmaKeys[key] {
+			t.Errorf("pragma key %s not registered", key)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const mpiPath = "petscfun3d/internal/mpi"
+
+// ReqWait keeps the nonblocking exchange protocol honest: every
+// mpi.Request returned by ISend/IRecv must reach a Wait. A dropped
+// Request leaks its progress goroutine and leaves a message in (or
+// owed to) the fabric, which silently misaligns the pair's ordered
+// stream — the failure corrupts later payloads instead of crashing, so
+// the measured Table 3 numbers go wrong without any visible error.
+//
+// The pairing mirrors profspan's Begin/End logic:
+//
+//   - a Request bound to a local variable must be Waited on every path
+//     out of the function (a deferred Wait, or a Wait with no escaping
+//     return between post and Wait);
+//   - a Request stored into a local slice/array/map must be Waited
+//     somewhere in the same function, through an index expression or a
+//     range over the container;
+//   - a Request stored into a struct field (the persistent-plan idiom,
+//     e.g. h.recvReq[pi] = ...) must have a Wait on that field
+//     somewhere in the package;
+//   - a Request returned to the caller is the caller's responsibility;
+//   - any other use (dropped expression, blank assign, argument to an
+//     untracked call) defeats the analysis and is a finding.
+//
+// Deliberate fire-and-forget posts carry //lint:wait-ok <reason>.
+var ReqWait = &Analyzer{
+	Name: "reqwait",
+	Doc:  "every mpi.ISend/IRecv Request reaches a Wait on all paths",
+	Run:  runReqWait,
+}
+
+// isPostCall reports whether call posts a nonblocking operation.
+func isPostCall(info *types.Info, call *ast.CallExpr) bool {
+	return isMethodOn(info, call, mpiPath, "Comm", "ISend") ||
+		isMethodOn(info, call, mpiPath, "Comm", "IRecv")
+}
+
+// isWaitCall reports whether call is mpi.(*Request).Wait.
+func isWaitCall(info *types.Info, call *ast.CallExpr) bool {
+	return isMethodOn(info, call, mpiPath, "Request", "Wait")
+}
+
+// lvalueBase unwraps index, slice, and star expressions down to the
+// identifier or selector that names the storage, returning its object
+// (a local/package variable or a struct field) and whether the base is
+// a struct field.
+func lvalueBase(info *types.Info, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj, false
+		case *ast.SelectorExpr:
+			obj := info.Uses[x.Sel]
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return obj, true
+			}
+			return obj, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func runReqWait(pass *Pass) {
+	if pass.Pkg.Path == mpiPath {
+		return // the fabric itself constructs and completes Requests
+	}
+	info := pass.Pkg.Info
+
+	// Package-level pairing for persistent-plan stores: field → first
+	// store position, and the set of fields Waited anywhere.
+	type fieldStore struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var stores []fieldStore
+	waitedFields := map[types.Object]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			handled := map[*ast.CallExpr]bool{}
+
+			// Classify every post by the statement shape around it.
+			shallowInspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+						return true
+					}
+					call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					// reqs = append(reqs, c.ISend(...)): container
+					// binding through the append builtin.
+					if isBuiltinCall(info, call, "append") {
+						for _, arg := range call.Args {
+							pc, ok := ast.Unparen(arg).(*ast.CallExpr)
+							if !ok || !isPostCall(info, pc) {
+								continue
+							}
+							handled[pc] = true
+							if obj, isField := lvalueBase(info, n.Lhs[0]); obj != nil && !isField {
+								checkContainerWait(pass, body, obj, pc.Pos())
+							} else {
+								pass.ReportSuppressiblef(pc.Pos(), "wait-ok",
+									"mpi request appended to an untrackable container; use a local slice so Wait pairing can be checked")
+							}
+						}
+						return true
+					}
+					if !isPostCall(info, call) {
+						return true
+					}
+					handled[call] = true
+					switch lhs := ast.Unparen(n.Lhs[0]).(type) {
+					case *ast.Ident:
+						if lhs.Name == "_" {
+							pass.ReportSuppressiblef(call.Pos(), "wait-ok",
+								"mpi request discarded to blank; a dropped Request leaks its progress goroutine and a message")
+							return true
+						}
+						obj := info.Defs[lhs]
+						if obj == nil {
+							obj = info.Uses[lhs]
+						}
+						if obj != nil {
+							checkLocalWait(pass, body, obj, call.Pos())
+						}
+					default:
+						obj, isField := lvalueBase(info, n.Lhs[0])
+						if obj == nil {
+							pass.ReportSuppressiblef(call.Pos(), "wait-ok",
+								"mpi request stored through an untrackable expression; bind it to a variable or plan field so Wait pairing can be checked")
+							return true
+						}
+						if isField {
+							stores = append(stores, fieldStore{obj: obj, pos: call.Pos()})
+						} else {
+							checkContainerWait(pass, body, obj, call.Pos())
+						}
+					}
+				case *ast.SelectorExpr:
+					// c.ISend(...).Wait() — immediately completed.
+					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isPostCall(info, call) && n.Sel.Name == "Wait" {
+						handled[call] = true
+					}
+				case *ast.ReturnStmt:
+					// Returning the request hands the obligation to the
+					// caller, which is analyzed where it binds the result.
+					for _, res := range n.Results {
+						if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isPostCall(info, call) {
+							handled[call] = true
+						}
+					}
+				}
+				return true
+			})
+
+			// Record Waits on struct fields and flag the leftovers.
+			shallowInspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isWaitCall(info, call) {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if obj, isField := lvalueBase(info, sel.X); isField {
+							waitedFields[obj] = true
+						}
+					}
+					return true
+				}
+				if isPostCall(info, call) && !handled[call] {
+					pass.ReportSuppressiblef(call.Pos(),
+						"wait-ok", "mpi request result dropped or passed through an untracked expression; bind it so Wait pairing can be checked")
+				}
+				return true
+			})
+		})
+	}
+
+	for _, st := range stores {
+		if !waitedFields[st.obj] {
+			pass.ReportSuppressiblef(st.pos, "wait-ok",
+				"mpi request stored in field %s is never Waited anywhere in the package; the plan leaks one request per exchange", st.obj.Name())
+		}
+	}
+}
+
+// waitReceiverMatches reports whether call is a Wait whose receiver
+// resolves (through indexing) to one of the objects in objs.
+func waitReceiverMatches(info *types.Info, call *ast.CallExpr, objs map[types.Object]bool) bool {
+	if !isWaitCall(info, call) {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, _ := lvalueBase(info, sel.X)
+	return obj != nil && objs[obj]
+}
+
+// checkLocalWait verifies the request bound to obj at postPos reaches a
+// Wait on all paths out of body, mirroring profspan's span-closure
+// logic: a deferred Wait always closes; otherwise any return between
+// the post and the final Wait escapes with the request outstanding,
+// unless the statement directly before the return performs the Wait.
+func checkLocalWait(pass *Pass, body *ast.BlockStmt, obj types.Object, postPos token.Pos) {
+	info := pass.Pkg.Info
+	objs := map[types.Object]bool{obj: true}
+
+	var deferred, found bool
+	var lastWait token.Pos
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		if n == nil {
+			return
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			walk(d.Call, true)
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok && waitReceiverMatches(info, call, objs) {
+			found = true
+			if inDefer {
+				deferred = true
+			}
+			if call.End() > lastWait {
+				lastWait = call.End()
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n || m == nil {
+				return m == n
+			}
+			walk(m, inDefer)
+			return false
+		})
+	}
+	walk(body, false)
+
+	if !found {
+		if returnsObj(info, body, objs) {
+			return // handed to the caller, whose binding is analyzed there
+		}
+		pass.ReportSuppressiblef(postPos, "wait-ok",
+			"mpi request is never Waited; the progress goroutine and its message leak")
+		return
+	}
+	if deferred {
+		return
+	}
+	shallowInspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= postPos || ret.Pos() >= lastWait {
+			return true
+		}
+		if returnPrecededByWait(body, ret, info, objs) || returnReturnsObj(info, ret, objs) {
+			return true
+		}
+		pass.ReportSuppressiblef(ret.Pos(), "wait-ok",
+			"return may leave the mpi request posted at line %d un-Waited; Wait before returning or use defer",
+			pass.Fset.Position(postPos).Line)
+		return true
+	})
+}
+
+// returnsObj reports whether any return statement in body hands one of
+// objs to the caller.
+func returnsObj(info *types.Info, body *ast.BlockStmt, objs map[types.Object]bool) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok && returnReturnsObj(info, ret, objs) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnReturnsObj reports whether ret returns one of objs directly.
+func returnReturnsObj(info *types.Info, ret *ast.ReturnStmt, objs map[types.Object]bool) bool {
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnPrecededByWait reports whether the statement immediately before
+// ret in its enclosing statement list contains a Wait on one of objs.
+func returnPrecededByWait(body *ast.BlockStmt, ret *ast.ReturnStmt, info *types.Info, objs map[types.Object]bool) bool {
+	ok := false
+	shallowInspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			if st != ast.Stmt(ret) || i == 0 {
+				continue
+			}
+			ast.Inspect(list[i-1], func(m ast.Node) bool {
+				if call, isCall := m.(*ast.CallExpr); isCall && waitReceiverMatches(info, call, objs) {
+					ok = true
+				}
+				return !ok
+			})
+		}
+		return true
+	})
+	return ok
+}
+
+// checkContainerWait verifies a request stored into the local container
+// obj (slice, array, or map) is Waited somewhere in body — either
+// through an index expression over the container or through the value
+// variable of a range over it. Containers get no path-sensitivity: one
+// reachable Wait per container is the contract (the drain loop idiom).
+func checkContainerWait(pass *Pass, body *ast.BlockStmt, obj types.Object, postPos token.Pos) {
+	info := pass.Pkg.Info
+	objs := map[types.Object]bool{obj: true}
+	// Alias the value variables of ranges over the container:
+	// for _, r := range reqs { r.Wait() }.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		base, _ := lvalueBase(info, rng.X)
+		if base == nil || !objs[base] {
+			return true
+		}
+		if id, ok := rng.Value.(*ast.Ident); ok && id.Name != "_" {
+			if vobj := info.Defs[id]; vobj != nil {
+				objs[vobj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && waitReceiverMatches(info, call, objs) {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		pass.ReportSuppressiblef(postPos, "wait-ok",
+			"mpi request stored in %s is never Waited in this function; drain the container before returning", obj.Name())
+	}
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// TagConst keeps the message-tag namespace centralized: every tag
+// handed to Send/ISend/Recv/IRecv must trace back to the exported
+// registry constants in internal/mpi (mpi.Tag consts: TagPlan,
+// TagHalo, ...). Ad-hoc literals, arithmetic, and runtime conversions
+// are how two subsystems end up claiming the same tag value — on this
+// fabric a mismatch does not error cleanly, it poisons the pair's
+// ordered stream and corrupts every later payload (see mpi.Recv).
+//
+// Rules, per analyzed package:
+//
+//   - a tag argument must be a registry constant or a Tag-typed
+//     variable/field/parameter (plumbing, assumed filled from the
+//     registry where it was bound);
+//   - declaring new mpi.Tag constants outside internal/mpi is a
+//     finding — the registry is the single namespace authority;
+//   - a registry constant used directly by sends but never by receives
+//     in the package (or vice versa) is a finding: asymmetric use means
+//     the matching side lives somewhere this package cannot see, which
+//     is exactly how protocol drift starts. Passing the constant to a
+//     plan constructor (newHalo-style plumbing) counts as a symmetric
+//     use, since the plan owns both directions.
+//
+// Deliberate exceptions carry //lint:tag-ok <reason>.
+var TagConst = &Analyzer{
+	Name: "tagconst",
+	Doc:  "message tags come from the mpi tag registry and are used symmetrically",
+	Run:  runTagConst,
+}
+
+// isTagType reports whether t is (or points to) mpi.Tag.
+func isTagType(t types.Type) bool {
+	return t != nil && isNamedType(t, mpiPath, "Tag")
+}
+
+// registryConst returns the mpi.Tag constant the expression names, if
+// it is a direct reference to one declared in the registry package.
+func registryConst(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || !isTagType(c.Type()) {
+		return nil
+	}
+	if c.Pkg() == nil || c.Pkg().Path() != mpiPath {
+		return nil
+	}
+	return c
+}
+
+// tagUse tallies how one registry constant is used in a package.
+type tagUse struct {
+	send, recv, other int
+	first             token.Pos
+}
+
+func runTagConst(pass *Pass) {
+	if pass.Pkg.Path == mpiPath {
+		return // the registry package defines the namespace
+	}
+	info := pass.Pkg.Info
+
+	uses := map[*types.Const]*tagUse{}
+	note := func(c *types.Const, pos token.Pos) *tagUse {
+		u := uses[c]
+		if u == nil {
+			u = &tagUse{first: pos}
+			uses[c] = u
+		}
+		return u
+	}
+	// Idents consumed as direct tag arguments, so the second walk can
+	// count every remaining reference as plumbing ("other") use.
+	consumed := map[*ast.Ident]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				send := isMethodOn(info, n, mpiPath, "Comm", "Send") ||
+					isMethodOn(info, n, mpiPath, "Comm", "ISend")
+				recv := isMethodOn(info, n, mpiPath, "Comm", "Recv") ||
+					isMethodOn(info, n, mpiPath, "Comm", "IRecv")
+				if (!send && !recv) || len(n.Args) < 2 {
+					return true
+				}
+				arg := ast.Unparen(n.Args[1]) // (to|from, tag, ...)
+				if c := registryConst(info, arg); c != nil {
+					u := note(c, arg.Pos())
+					if send {
+						u.send++
+					} else {
+						u.recv++
+					}
+					markConsumed(arg, consumed)
+					return true
+				}
+				checkTagExpr(pass, arg)
+			case *ast.GenDecl:
+				if n.Tok != token.CONST {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := info.Defs[name].(*types.Const)
+						if ok && isTagType(c.Type()) {
+							pass.ReportSuppressiblef(name.Pos(), "tag-ok",
+								"mpi.Tag constant %s declared outside the registry; add it to %s/tags.go so the namespace stays collision-free", name.Name, mpiPath)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Second walk: any reference to a registry constant that was not a
+	// direct tag argument is plumbing (stored in a plan, passed to a
+	// constructor) and satisfies both directions.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || consumed[id] {
+				return true
+			}
+			c, ok := info.Uses[id].(*types.Const)
+			if !ok || !isTagType(c.Type()) || c.Pkg() == nil || c.Pkg().Path() != mpiPath {
+				return true
+			}
+			note(c, id.Pos()).other++
+			return true
+		})
+	}
+
+	// Symmetry: deterministic order for stable output.
+	consts := make([]*types.Const, 0, len(uses))
+	for c := range uses {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Name() < consts[j].Name() })
+	for _, c := range consts {
+		u := uses[c]
+		if u.other > 0 {
+			continue
+		}
+		switch {
+		case u.send > 0 && u.recv == 0:
+			pass.ReportSuppressiblef(u.first, "tag-ok",
+				"tag %s is used by sends but never by receives in this package; the unmatched side invites a poisoned pair stream", c.Name())
+		case u.recv > 0 && u.send == 0:
+			pass.ReportSuppressiblef(u.first, "tag-ok",
+				"tag %s is used by receives but never by sends in this package; the unmatched side invites a poisoned pair stream", c.Name())
+		}
+	}
+}
+
+// markConsumed records the ident (or selector's Sel) of a direct tag
+// argument so the plumbing walk does not double-count it.
+func markConsumed(e ast.Expr, consumed map[*ast.Ident]bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		consumed[x] = true
+	case *ast.SelectorExpr:
+		consumed[x.Sel] = true
+	}
+}
+
+// checkTagExpr flags tag expressions that are not registry constants
+// and not Tag-typed plumbing.
+func checkTagExpr(pass *Pass, arg ast.Expr) {
+	info := pass.Pkg.Info
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && isTagType(v.Type()) {
+			return // plumbing variable/parameter
+		}
+		if c, ok := info.Uses[x].(*types.Const); ok && isTagType(c.Type()) {
+			// A Tag const from outside the registry; the declaration
+			// is flagged where it appears, report the use too.
+			pass.ReportSuppressiblef(arg.Pos(), "tag-ok",
+				"tag %s is not a registry constant; use one from %s/tags.go", x.Name, mpiPath)
+			return
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isTagType(v.Type()) {
+			return // plumbing field (h.tag)
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && isTagType(tv.Type) {
+			pass.ReportSuppressiblef(arg.Pos(), "tag-ok",
+				"runtime conversion to mpi.Tag defeats the registry; use a constant from %s/tags.go", mpiPath)
+			return
+		}
+	case *ast.BinaryExpr:
+		pass.ReportSuppressiblef(arg.Pos(), "tag-ok",
+			"arithmetic on message tags defeats the registry; use a constant from %s/tags.go", mpiPath)
+		return
+	}
+	pass.ReportSuppressiblef(arg.Pos(), "tag-ok",
+		"message tag does not trace to the %s/tags.go registry", mpiPath)
+}

@@ -1,0 +1,59 @@
+// Package generics exercises the loader: type parameters, constraint
+// interfaces, instantiation, and the sync/atomic claim pattern the mpi
+// Request uses — all must type-check through the offline source
+// importer and produce complete type info for the analyzers.
+package generics
+
+import "sync/atomic"
+
+// number is a constraint interface with a union of underlying types.
+type number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum is a generic reduction; the analyzers must see through the
+// instantiated types without misclassifying the type parameter as a
+// float.
+func Sum[T number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// pair is a generic type with a method.
+type pair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func (p pair[K, V]) Key() K { return p.key }
+
+// request mirrors mpi.Request's lock-free claim: exactly one of the
+// helper goroutine and Wait wins the CAS.
+type request struct {
+	claimed int32
+	done    chan struct{}
+}
+
+func (r *request) claim() bool {
+	return atomic.CompareAndSwapInt32(&r.claimed, 0, 1)
+}
+
+func (r *request) wait() {
+	if r.claim() {
+		close(r.done)
+	}
+	<-r.done
+}
+
+// use instantiates everything so the loader records Instances.
+func use() (int, float64, string) {
+	a := Sum([]int{1, 2, 3})
+	b := Sum([]float64{1.5, 2.5})
+	p := pair[string, int]{key: "k", val: 1}
+	r := &request{done: make(chan struct{})}
+	r.wait()
+	return a, b, p.Key()
+}

@@ -1,0 +1,114 @@
+// Package overlapregion exercises the overlapregion analyzer: the
+// window between posting a nonblocking exchange and waiting on it must
+// stay free of blocking operations and posted-buffer writes.
+package overlapregion
+
+import (
+	"petscfun3d/internal/dist"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/prof"
+)
+
+// blockingSend serializes the exchange the window should hide.
+func blockingSend(c *mpi.Comm, h *dist.Halo, p *prof.Profiler, tag mpi.Tag, x, buf []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	c.Send(1, tag, buf) // want "blocking point-to-point call inside the overlap window"
+	return h.Finish(p, x)
+}
+
+// collective synchronizes all ranks mid-exchange.
+func collective(c *mpi.Comm, h *dist.Halo, p *prof.Profiler, x []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	_ = c.AllReduceSum(1) // want "collective inside the overlap window"
+	return h.Finish(p, x)
+}
+
+// postedWrite touches the vector the halo is filling.
+func postedWrite(h *dist.Halo, p *prof.Profiler, x []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	x[0] = 1 // want "write to buffer posted"
+	return h.Finish(p, x)
+}
+
+// interiorCompute is the sanctioned overlap: work on other data only.
+func interiorCompute(h *dist.Halo, p *prof.Profiler, x, y []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 2 * y[i]
+	}
+	return h.Finish(p, x)
+}
+
+// channelOp: raw channel traffic can deadlock against the fabric.
+func channelOp(c *mpi.Comm, tag mpi.Tag, buf []float64, ch chan int) {
+	req := c.ISend(1, tag, buf)
+	ch <- 1 // want "raw channel send inside the overlap window"
+	_, _ = req.Wait()
+}
+
+// isendBufferWrite: MPI_Isend buffers are off-limits until Wait.
+func isendBufferWrite(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	req := c.ISend(1, tag, buf)
+	buf[0] = 2 // want "write to buffer posted"
+	_, _ = req.Wait()
+}
+
+// afterWait: once the request completes the buffer is free again.
+func afterWait(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	req := c.ISend(1, tag, buf)
+	_, _ = req.Wait()
+	buf[0] = 2
+	c.Send(1, tag, buf)
+	_, _ = c.Recv(1, tag)
+}
+
+// sharedStaging repacks one buffer while a previous iteration's post
+// may still be in flight.
+func sharedStaging(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) {
+	var reqs []*mpi.Request
+	for _, q := range peers {
+		buf[0] = float64(q)
+		reqs = append(reqs, c.ISend(q, tag, buf)) // want "shared across loop iterations"
+	}
+	for _, r := range reqs {
+		_, _ = r.Wait()
+	}
+}
+
+// reboundStaging is the sanctioned idiom: a per-iteration buffer.
+func reboundStaging(c *mpi.Comm, tag mpi.Tag, peers []int, bufs [][]float64) {
+	var reqs []*mpi.Request
+	for i, q := range peers {
+		b := bufs[i]
+		b[0] = float64(q)
+		reqs = append(reqs, c.ISend(q, tag, b))
+	}
+	for _, r := range reqs {
+		_, _ = r.Wait()
+	}
+}
+
+// waitInLoop also resolves the shared-staging hazard.
+func waitInLoop(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) {
+	for _, q := range peers {
+		buf[0] = float64(q)
+		_, _ = c.ISend(q, tag, buf).Wait()
+	}
+}
+
+// suppressed: a deliberate blocking call carries the pragma.
+func suppressed(c *mpi.Comm, h *dist.Halo, p *prof.Profiler, tag mpi.Tag, x, buf []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	c.Send(1, tag, buf) //lint:overlap-ok fixture: deliberate blocking call to test suppression
+	return h.Finish(p, x)
+}

@@ -1,0 +1,98 @@
+// Package reqwait exercises the reqwait analyzer: every nonblocking
+// mpi request must reach a Wait on all paths. Tags are plumbed through
+// parameters so the tagconst analyzer stays silent.
+package reqwait
+
+import "petscfun3d/internal/mpi"
+
+// dropped: the request never binds to anything.
+func dropped(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	c.ISend(1, tag, buf) // want "dropped or passed through an untracked expression"
+}
+
+// blanked: an explicit discard is still a leak.
+func blanked(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	_ = c.ISend(1, tag, buf) // want "discarded to blank"
+}
+
+// neverWaited: bound but never completed.
+func neverWaited(c *mpi.Comm, tag mpi.Tag) *mpi.Request {
+	req := c.IRecv(0, tag) // want "never Waited"
+	other := c.IRecv(2, tag)
+	_ = req
+	return other // returning hands the obligation to the caller: ok
+}
+
+// escapes: an early return leaves the request outstanding.
+func escapes(c *mpi.Comm, tag mpi.Tag, buf []float64, bail bool) {
+	req := c.ISend(1, tag, buf)
+	if bail {
+		return // want "may leave the mpi request posted"
+	}
+	_, _ = req.Wait()
+}
+
+// guardedReturn: a Wait directly before the return closes the path.
+func guardedReturn(c *mpi.Comm, tag mpi.Tag, buf []float64, bail bool) {
+	req := c.ISend(1, tag, buf)
+	if bail {
+		_, _ = req.Wait()
+		return
+	}
+	_, _ = req.Wait()
+}
+
+// deferred: a deferred Wait closes every path.
+func deferred(c *mpi.Comm, tag mpi.Tag, bail bool) {
+	req := c.IRecv(0, tag)
+	defer req.Wait()
+	if bail {
+		return
+	}
+}
+
+// chained: immediate completion.
+func chained(c *mpi.Comm, tag mpi.Tag) ([]float64, error) {
+	return c.IRecv(0, tag).Wait()
+}
+
+// drained: requests collected in a local slice and drained before
+// returning.
+func drained(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) {
+	var reqs []*mpi.Request
+	for _, q := range peers {
+		reqs = append(reqs, c.ISend(q, tag, buf))
+	}
+	for _, r := range reqs {
+		_, _ = r.Wait()
+	}
+}
+
+// undrained: the container is filled but never emptied.
+func undrained(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) {
+	var reqs []*mpi.Request
+	for _, q := range peers {
+		reqs = append(reqs, c.ISend(q, tag, buf)) // want "never Waited in this function"
+	}
+}
+
+// plan mimics the persistent-exchange idiom: requests stored in struct
+// fields must be Waited somewhere in the package.
+type plan struct {
+	recv *mpi.Request
+	send *mpi.Request
+}
+
+func (p *plan) post(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	p.recv = c.IRecv(0, tag)
+	p.send = c.ISend(1, tag, buf) // want "stored in field send is never Waited anywhere"
+}
+
+func (p *plan) finish() ([]float64, error) {
+	return p.recv.Wait()
+}
+
+// suppressed: a deliberate fire-and-forget carries the pragma.
+func suppressed(c *mpi.Comm, tag mpi.Tag, buf []float64) {
+	c.ISend(1, tag, buf) //lint:wait-ok fixture: deliberate fire-and-forget to test suppression
+}

@@ -1,0 +1,65 @@
+// Package tagconst exercises the tagconst analyzer: message tags must
+// come from the mpi registry and be used symmetrically per package.
+package tagconst
+
+import "petscfun3d/internal/mpi"
+
+// localTag is an ad-hoc tag outside the registry namespace.
+const localTag mpi.Tag = 7 // want "declared outside the registry"
+
+// literal: an untyped constant tag bypasses the registry.
+func literal(c *mpi.Comm, buf []float64) {
+	c.Send(1, 3, buf) // want "does not trace to the"
+}
+
+// converted: a runtime conversion bypasses the registry.
+func converted(c *mpi.Comm, buf []float64, k int) {
+	c.Send(1, mpi.Tag(k), buf) // want "runtime conversion to mpi.Tag"
+}
+
+// arithmetic on a registry constant is still ad-hoc.
+func arithmetic(c *mpi.Comm) ([]float64, error) {
+	return c.Recv(0, mpi.TagPlan+1) // want "arithmetic on message tags"
+}
+
+// adHoc uses the constant declared outside the registry.
+func adHoc(c *mpi.Comm, buf []float64) {
+	c.Send(1, localTag, buf) // want "not a registry constant"
+}
+
+// asymmetric: TagHalo is sent but never received in this package and
+// never plumbed anywhere else.
+func asymmetric(c *mpi.Comm, buf []float64) {
+	c.Send(1, mpi.TagHalo, buf) // want "used by sends but never by receives"
+}
+
+// symmetric: TagPlan appears on both sides, so no finding (the
+// arithmetic use above also counts as plumbing).
+func symmetric(c *mpi.Comm, buf []float64) ([]float64, error) {
+	c.Send(1, mpi.TagPlan, buf)
+	return c.Recv(1, mpi.TagPlan)
+}
+
+// xplan plumbs its tag through a field — the sanctioned pattern for
+// persistent plans; a field read is not a registry violation.
+type xplan struct {
+	tag mpi.Tag
+}
+
+func newXPlan(tag mpi.Tag) *xplan { return &xplan{tag: tag} }
+
+func (x *xplan) roundTrip(c *mpi.Comm, buf []float64) ([]float64, error) {
+	c.Send(1, x.tag, buf)
+	return c.Recv(1, x.tag)
+}
+
+// param plumbing is equally fine.
+func viaParam(c *mpi.Comm, tag mpi.Tag, buf []float64) ([]float64, error) {
+	c.Send(1, tag, buf)
+	return c.Recv(1, tag)
+}
+
+// suppressed: a deliberate ad-hoc tag carries the pragma.
+func suppressed(c *mpi.Comm, buf []float64) {
+	c.Send(1, 99, buf) //lint:tag-ok fixture: deliberate ad-hoc tag to test suppression
+}

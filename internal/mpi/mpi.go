@@ -15,7 +15,7 @@ import (
 
 // message is a tagged payload between two ranks.
 type message struct {
-	tag  int
+	tag  Tag
 	data []float64
 }
 
@@ -194,7 +194,7 @@ func (r *Request) Wait() ([]float64, error) {
 // blocks while the pair already holds Options.ChanCap undelivered
 // messages; use ISend for communication/computation overlap or deep
 // outstanding-send windows.
-func (c *Comm) Send(to, tag int, data []float64) {
+func (c *Comm) Send(to int, tag Tag, data []float64) {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	p := c.w.pairs[c.rank*c.size+to]
@@ -211,7 +211,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 // deadlocks on fabric capacity — when the pair is free and the fabric
 // has room the message is delivered inline (an "eager" send), otherwise
 // a background goroutine absorbs the wait.
-func (c *Comm) ISend(to, tag int, data []float64) *Request {
+func (c *Comm) ISend(to int, tag Tag, data []float64) *Request {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	p := c.w.pairs[c.rank*c.size+to]
@@ -255,7 +255,7 @@ func (c *Comm) ISend(to, tag int, data []float64) *Request {
 // and is dropped (the error reports its tag and payload length), so
 // every later receive on the pair would see a shifted stream. Treat the
 // communicator as unusable after a non-nil error and tear the run down.
-func (c *Comm) Recv(from, tag int) ([]float64, error) {
+func (c *Comm) Recv(from int, tag Tag) ([]float64, error) {
 	p := c.w.pairs[from*c.size+c.rank]
 	prev, done := p.takeRecvSlot()
 	<-prev
@@ -268,7 +268,7 @@ func (c *Comm) Recv(from, tag int) ([]float64, error) {
 // `from`. Receives match sends in posting order per pair (also relative
 // to blocking Recv calls). Wait returns the payload, or the Recv tag
 // mismatch error (see Recv for the poisoned-pair semantics).
-func (c *Comm) IRecv(from, tag int) *Request {
+func (c *Comm) IRecv(from int, tag Tag) *Request {
 	p := c.w.pairs[from*c.size+c.rank]
 	prev, done := p.takeRecvSlot()
 	req := &Request{done: done}
@@ -291,7 +291,7 @@ func (c *Comm) IRecv(from, tag int) *Request {
 }
 
 // checkTag validates a received message's tag.
-func checkTag(m message, rank, from, tag int) ([]float64, error) {
+func checkTag(m message, rank, from int, tag Tag) ([]float64, error) {
 	if m.tag != tag {
 		return nil, fmt.Errorf(
 			"mpi: rank %d expected tag %d from %d, got tag %d (%d-value payload dropped; the pair's message stream is poisoned — later receives will misalign)",

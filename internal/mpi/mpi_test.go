@@ -183,10 +183,10 @@ func TestManyOutstandingSendsPerPair(t *testing.T) {
 	err := Run(size, func(c *Comm) error {
 		peer := 1 - c.Rank()
 		for k := 0; k < msgs; k++ {
-			c.Send(peer, 100+k, []float64{float64(c.Rank()), float64(k)})
+			c.Send(peer, 100+Tag(k), []float64{float64(c.Rank()), float64(k)})
 		}
 		for k := 0; k < msgs; k++ {
-			got, err := c.Recv(peer, 100+k)
+			got, err := c.Recv(peer, 100+Tag(k))
 			if err != nil {
 				return err
 			}
@@ -212,7 +212,7 @@ func TestExplicitChanCap(t *testing.T) {
 				continue
 			}
 			for k := 0; k < msgs; k++ {
-				c.Send(q, k, []float64{float64(k)})
+				c.Send(q, Tag(k), []float64{float64(k)})
 			}
 		}
 		for q := 0; q < size; q++ {
@@ -220,7 +220,7 @@ func TestExplicitChanCap(t *testing.T) {
 				continue
 			}
 			for k := 0; k < msgs; k++ {
-				got, err := c.Recv(q, k)
+				got, err := c.Recv(q, Tag(k))
 				if err != nil {
 					return err
 				}
@@ -321,7 +321,7 @@ func TestIRecvInterleavesWithBlockingRecv(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		peer := 1 - c.Rank()
 		for k := 0; k < 4; k++ {
-			c.Send(peer, k, []float64{float64(10 + k)})
+			c.Send(peer, Tag(k), []float64{float64(10 + k)})
 		}
 		r0 := c.IRecv(peer, 0)
 		v1, err := c.Recv(peer, 1)

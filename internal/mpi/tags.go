@@ -1,0 +1,24 @@
+package mpi
+
+// Tag classifies point-to-point messages. Tags are a protocol contract,
+// not free-form integers: a send posted with one tag and matched by a
+// receive expecting another poisons the pair's ordered stream (see
+// Recv), so every tag in the repository lives in the registry below and
+// the tagconst analyzer (internal/lint) rejects ad-hoc literals and
+// runtime-computed tags outside it. Constructing a Tag anywhere but
+// this file is a lint finding; tests may convert freely.
+type Tag int
+
+// The tag registry: one constant per wire protocol. Each tag must be
+// used by at least one send site and one receive site (or flow into a
+// plan constructor that posts both sides) — tagconst reports
+// asymmetric use, since a one-sided tag is how communicator pairs get
+// poisoned.
+const (
+	// TagPlan carries halo plan negotiation: the need-lists ranks
+	// exchange at partition setup (dist.negotiateHalo).
+	TagPlan Tag = 1 + iota
+	// TagHalo carries ghost scatter payloads: the packed boundary
+	// values of the persistent halo exchange (dist.Halo).
+	TagHalo
+)
