@@ -5,7 +5,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './related/*')
 
-.PHONY: verify fmt vet lint test race bench
+.PHONY: verify fmt vet lint test race bench chaos
 
 verify: fmt vet lint race
 
@@ -28,3 +28,12 @@ race:
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./...
 	go run ./cmd/benchtables -experiment table3measured -size medium | tee BENCH_scatterwait.txt
+
+# Chaos gate: the fault-injection soak — the faults/mpi/dist suites
+# under the race detector with a widened seed grid (the soak asserts
+# bitwise-identical residual histories under every seed, and that
+# injected panics and stalls produce structured errors, never hangs) —
+# followed by the measured η_impl-vs-skew sweep as a smoke test.
+chaos:
+	FUN3D_CHAOS_SEEDS=1,2,3 go test -race -count=1 ./internal/faults ./internal/mpi ./internal/dist
+	go run ./cmd/benchtables -experiment chaos -size small | tee BENCH_chaos.txt

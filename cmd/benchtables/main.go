@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table3measured|table4|table5|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
+//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table3measured|chaos|table4|table5|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
 package main
 
 import (
@@ -97,6 +97,14 @@ func main() {
 			writeCSV("table3measured", r.WriteCSV)
 			return r.Render(), nil
 		},
+		"chaos": func() (string, error) {
+			r, err := experiments.ChaosSweep(size)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("chaos", r.WriteCSV)
+			return r.Render(), nil
+		},
 		"table4": func() (string, error) {
 			r, err := experiments.Table4(size)
 			if err != nil {
@@ -174,8 +182,8 @@ func main() {
 	}
 	order := []string{
 		"table1", "figure3", "missmodel", "spmvbound", "table2", "table3",
-		"table3measured", "figure2", "figure4", "figure5", "table4", "table5",
-		"ablation",
+		"table3measured", "chaos", "figure2", "figure4", "figure5", "table4",
+		"table5", "ablation",
 	}
 	names := order
 	if *expFlag != "all" {

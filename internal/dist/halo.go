@@ -71,12 +71,27 @@ func newHalo(c *mpi.Comm, b int, tag mpi.Tag, sendTo, recvFrom map[int][]int32) 
 // return maps each peer to the global rows it asked this rank for, in
 // the order it asked (which fixes the pack order on the wire). Every
 // rank must call it collectively.
+//
+// Need *counts* are announced first with an AllGather, and only
+// non-empty need-lists travel point-to-point afterwards: a rank with no
+// boundary neighbors (a disconnected partition component) posts no
+// sends at all, rather than spraying zero-length TagPlan messages at
+// every other rank — messages the watchdog would count as fabric
+// traffic and the tag-symmetry audit would have to special-case.
 func negotiateHalo(c *mpi.Comm, needFrom map[int][]int32) (map[int][]int32, error) {
+	counts := make([]float64, c.Size())
+	for q, req := range needFrom {
+		if q < 0 || q >= c.Size() || q == c.Rank() {
+			return nil, fmt.Errorf("dist: rank %d needs rows from invalid rank %d", c.Rank(), q)
+		}
+		counts[q] = float64(len(req))
+	}
+	all := c.AllGather(counts)
 	for q := 0; q < c.Size(); q++ {
-		if q == c.Rank() {
+		req := needFrom[q]
+		if len(req) == 0 {
 			continue
 		}
-		req := needFrom[q]
 		enc := make([]float64, len(req)) //lint:alloc-ok one-time plan negotiation
 		for i, g := range req {
 			enc[i] = float64(g)
@@ -88,12 +103,16 @@ func negotiateHalo(c *mpi.Comm, needFrom map[int][]int32) (map[int][]int32, erro
 		if q == c.Rank() {
 			continue
 		}
+		want := int(all[q][c.Rank()])
+		if want == 0 {
+			continue
+		}
 		enc, err := c.Recv(q, mpi.TagPlan)
 		if err != nil {
 			return nil, err
 		}
-		if len(enc) == 0 {
-			continue
+		if len(enc) != want {
+			return nil, fmt.Errorf("dist: rank %d announced %d needed rows but asked for %d", q, want, len(enc))
 		}
 		rows := make([]int32, len(enc)) //lint:alloc-ok one-time plan negotiation
 		for i, f := range enc {

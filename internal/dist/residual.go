@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math"
 
 	"petscfun3d/internal/euler"
 	"petscfun3d/internal/mpi"
@@ -138,6 +139,28 @@ func (r *Residual) Eval(q, res []float64) error {
 	r.D.BoundaryResidualMasked(q, res, r.ownedMask)
 	bsp.End(euler.EdgeSubsetFlops(len(r.frontier), b), euler.EdgeSubsetBytes(len(r.frontier), b))
 	return nil
+}
+
+// OwnedNorm2 returns the global Euclidean norm of a distributed
+// global-length vector, summing only owned entries on each rank (ghost
+// and far entries are other ranks' responsibility — counting them would
+// double-count). A collective: the local sums meet in one reduction,
+// charged to the reduce phase like Matrix.Dot.
+func (r *Residual) OwnedNorm2(x []float64) float64 {
+	b := r.D.Sys.B()
+	sp := r.Prof.Begin(prof.PhaseReduce)
+	defer sp.End(dotFlops(r.nOwned*b), dotBytes(r.nOwned*b))
+	var s float64
+	for v, owned := range r.ownedMask {
+		if !owned {
+			continue
+		}
+		for k := 0; k < b; k++ {
+			xi := x[v*b+k]
+			s += xi * xi
+		}
+	}
+	return math.Sqrt(r.Comm.AllReduceSum(s))
 }
 
 // Owned reports whether this rank owns vertex v.

@@ -141,7 +141,7 @@ func solveMeasured(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOv
 	var bestIts int
 	floor := map[string]float64{}
 	for rep := 0; rep < reps; rep++ {
-		ranks, its, merged, err := solveOnce(a, part, rhs, nranks, noOverlap)
+		ranks, its, merged, err := solveOnce(a, part, rhs, nranks, noOverlap, mpi.Options{})
 		if err != nil {
 			return nil, 0, nil, nil, err
 		}
@@ -171,8 +171,9 @@ func solveMeasured(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOv
 
 // solveOnce is a single profiled distributed solve; it returns the
 // per-rank phase self-seconds, the iteration count, and the rank
-// profilers merged into one.
-func solveOnce(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOverlap bool) ([]perfmodel.RankPhases, int, *prof.Profiler, error) {
+// profilers merged into one. mopts configures the fabric — the chaos
+// sweep passes a fault plan, the clean paths pass the zero Options.
+func solveOnce(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOverlap bool, mopts mpi.Options) ([]perfmodel.RankPhases, int, *prof.Profiler, error) {
 	profs := make([]*prof.Profiler, nranks)
 	for i := range profs {
 		profs[i] = prof.New()
@@ -208,7 +209,7 @@ func solveOnce(a *sparse.BCSR, part []int32, rhs []float64, nranks int, noOverla
 		its = st.Iterations
 		itsMu.Unlock()
 		return nil
-	})
+	}, mopts)
 	if err != nil {
 		return nil, 0, nil, err
 	}

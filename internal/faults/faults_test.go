@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArmOnce(t *testing.T) {
+	p := NewPlan(7, ProfileJitter)
+	if err := p.Arm(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Arm(4); err == nil {
+		t.Fatal("re-arming did not error")
+	}
+	if p.Size() != 4 {
+		t.Fatalf("size %d", p.Size())
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	if err := NewPlan(1, ProfileNone).Arm(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if err := NewPlan(1, Profile("bogus")).Arm(2); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	if _, err := ParseProfile("bogus"); err == nil {
+		t.Error("ParseProfile accepted bogus")
+	}
+	if pr, err := ParseProfile("mixed"); err != nil || pr != ProfileMixed {
+		t.Errorf("ParseProfile(mixed) = %v, %v", pr, err)
+	}
+}
+
+// TestDeterministicSchedule replays the same seed twice and requires an
+// identical fault schedule — the property the bitwise chaos soak rests
+// on.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) (panics []int, delays []time.Duration) {
+		p := NewPlan(seed, ProfileMixed)
+		p.StallLen = time.Nanosecond // keep the test fast
+		p.JitterMax = time.Nanosecond
+		if err := p.Arm(3); err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < 3; rank++ {
+			for op := 0; op < 100; op++ {
+				if p.BeforeOp(rank) {
+					panics = append(panics, rank<<16|op)
+				}
+			}
+		}
+		for seq := 0; seq < 100; seq++ {
+			delays = append(delays, p.MessageDelay(0, 1))
+		}
+		return panics, delays
+	}
+	p1, d1 := schedule(42)
+	p2, d2 := schedule(42)
+	if len(d1) != len(d2) {
+		t.Fatal("delay schedule lengths differ")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("panic schedules differ: %v vs %v", p1, p2)
+	}
+	// ProfileMixed injects no panics.
+	if len(p1) != 0 {
+		t.Fatalf("mixed profile injected panics: %v", p1)
+	}
+}
+
+func TestPanicProfileFiresExactlyOnce(t *testing.T) {
+	p := NewPlan(11, ProfilePanic)
+	if err := p.Arm(4); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for rank := 0; rank < 4; rank++ {
+		for op := int64(0); op < p.StallWindow+8; op++ {
+			if p.BeforeOp(rank) {
+				fired++
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("panic fired %d times, want 1", fired)
+	}
+}
+
+func TestSkewAccounting(t *testing.T) {
+	p := NewPlan(3, ProfileStall)
+	p.StallLen = time.Millisecond
+	if err := p.Arm(2); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		for op := int64(0); op < p.StallWindow; op++ {
+			p.BeforeOp(rank)
+		}
+	}
+	skew := p.SkewSeconds()
+	var total float64
+	for _, s := range skew {
+		total += s
+	}
+	want := time.Millisecond.Seconds()
+	if total < want*0.99 || total > want*1.01 {
+		t.Fatalf("stall skew %v, want ~%v", total, want)
+	}
+	ops := p.Ops()
+	if ops[0] != p.StallWindow || ops[1] != p.StallWindow {
+		t.Fatalf("op counts %v", ops)
+	}
+}
+
+func TestNilAndUnarmedAreInert(t *testing.T) {
+	var p *Plan
+	if p.BeforeOp(0) || p.MessageDelay(0, 1) != 0 {
+		t.Error("nil plan injected")
+	}
+	q := NewPlan(1, ProfilePanic)
+	if q.BeforeOp(0) || q.MessageDelay(0, 1) != 0 {
+		t.Error("unarmed plan injected")
+	}
+}

@@ -104,6 +104,39 @@ func waitInLoop(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) {
 	}
 }
 
+// cancelledFinish: the hardened drivers' error path — Start and Finish
+// both propagate the world's cancellation; the window itself holds only
+// owned-data compute, so the shape is clean.
+func cancelledFinish(h *dist.Halo, p *prof.Profiler, x, y []float64) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 2 * y[i]
+	}
+	if err := h.Finish(p, x); err != nil {
+		return err
+	}
+	return nil
+}
+
+// cancelVote: agreeing on an error mid-window is still a collective
+// inside the overlap window — under cancellation it deadlocks against
+// ranks that already bailed. Finish first, vote after.
+func cancelVote(c *mpi.Comm, h *dist.Halo, p *prof.Profiler, x []float64, failed bool) error {
+	if err := h.Start(p, x); err != nil {
+		return err
+	}
+	flag := 0.0
+	if failed {
+		flag = 1
+	}
+	if c.AllReduceMax(flag) > 0 { // want "collective inside the overlap window"
+		return h.Finish(p, x)
+	}
+	return h.Finish(p, x)
+}
+
 // suppressed: a deliberate blocking call carries the pragma.
 func suppressed(c *mpi.Comm, h *dist.Halo, p *prof.Profiler, tag mpi.Tag, x, buf []float64) error {
 	if err := h.Start(p, x); err != nil {

@@ -92,6 +92,50 @@ func (p *plan) finish() ([]float64, error) {
 	return p.recv.Wait()
 }
 
+// abortBail: the cancellation path — a failed Wait (the world was
+// cancelled under the exchange) bails while the peer request is still
+// posted. The runtime now reports the rank as leaking a request in
+// flight, so the analyzer must catch the shape statically too.
+func abortBail(c *mpi.Comm, tag mpi.Tag) error {
+	r1 := c.IRecv(0, tag)
+	r2 := c.IRecv(2, tag)
+	if _, err := r1.Wait(); err != nil {
+		return err // want "may leave the mpi request posted"
+	}
+	_, _ = r2.Wait()
+	return nil
+}
+
+// abortDeferDrain: the sanctioned cancellation idiom — a deferred Wait
+// drains the peer request even when the first Wait propagates the
+// abort. Wait on a cancelled world returns immediately, so the defer
+// cannot hang.
+func abortDeferDrain(c *mpi.Comm, tag mpi.Tag) error {
+	r1 := c.IRecv(0, tag)
+	r2 := c.IRecv(2, tag)
+	defer r2.Wait()
+	if _, err := r1.Wait(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// abortDrainAll: drain-then-report — every request is Waited before the
+// first abort error propagates, so nothing stays posted.
+func abortDrainAll(c *mpi.Comm, tag mpi.Tag, peers []int, buf []float64) error {
+	var reqs []*mpi.Request
+	for _, q := range peers {
+		reqs = append(reqs, c.ISend(q, tag, buf))
+	}
+	var firstErr error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // suppressed: a deliberate fire-and-forget carries the pragma.
 func suppressed(c *mpi.Comm, tag mpi.Tag, buf []float64) {
 	c.ISend(1, tag, buf) //lint:wait-ok fixture: deliberate fire-and-forget to test suppression

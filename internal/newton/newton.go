@@ -50,6 +50,12 @@ type Options struct {
 	// is matrix-free; the assembled option trades flux evaluations for
 	// matrix storage and is exact only for first-order discretizations.
 	AssembledOperator bool
+	// StepRetries bounds how many times one step's fallible section
+	// (Jacobian assembly, preconditioner build, Krylov solve) is
+	// re-attempted before Solve aborts gracefully, returning the partial
+	// Result — the steps completed so far — alongside the error. 0
+	// (the default) fails on the first error.
+	StepRetries int
 }
 
 // DefaultOptions returns settings that converge the incompressible wing
@@ -85,6 +91,11 @@ type Hooks struct {
 	WrapOperator func(krylov.Operator) krylov.Operator
 	// WrapPreconditioner wraps the preconditioner handed to GMRES.
 	WrapPreconditioner func(krylov.Preconditioner) krylov.Preconditioner
+	// OnStepError fires after each failed step attempt, before the
+	// retry decision: attempt is 0-based, and Options.StepRetries
+	// decides whether the step is re-attempted or the solve aborts with
+	// the partial Result.
+	OnStepError func(step, attempt int, err error)
 }
 
 // Step records one pseudo-timestep for convergence histories (Figure 5)
@@ -180,21 +191,6 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 		}
 		// Pseudo-time augmentation: V/Δt = TimeScales/CFL per vertex.
 		ts := d.TimeScales(q)
-		// Preconditioner from the lagged first-order Jacobian.
-		if pc == nil || (s.Opts.JacobianLag > 0 && step%s.Opts.JacobianLag == 0) {
-			if err := d.AssembleJacobian(q, jac); err != nil {
-				return nil, err
-			}
-			AddTimeDiagonal(jac, ts, cfl)
-			var err error
-			pc, err = s.PC(jac)
-			if err != nil {
-				return nil, err
-			}
-			if s.Hooks != nil && s.Hooks.AfterJacobian != nil {
-				s.Hooks.AfterJacobian()
-			}
-		}
 		// Matrix-free operator: Jv = (R(q+εv) − R(q))/ε + (V/Δt) v.
 		stepFlux := 0
 		assembled := krylov.OperatorFunc(func(v, y []float64) {
@@ -224,26 +220,66 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 				}
 			}
 		})
-		for i := range rhs {
-			rhs[i] = -r[i]
-			dq[i] = 0
-		}
-		var kop krylov.Operator = op
-		if s.Opts.AssembledOperator {
-			kop = assembled
-		}
-		kpc := pc
-		if s.Hooks != nil {
-			if s.Hooks.WrapOperator != nil {
-				kop = s.Hooks.WrapOperator(kop)
+		// The fallible section — preconditioner refresh from the lagged
+		// first-order Jacobian, then the inexact Newton correction — runs
+		// under bounded retry: a failed attempt is re-run from a clean
+		// assembly (AssembleJacobian zero-fills, so no partial time
+		// diagonal survives), and when Options.StepRetries is exhausted
+		// the solve aborts gracefully with the partial Result.
+		var kst krylov.Stats
+		attempts := 0
+		for {
+			attempts++
+			err := func() error {
+				if pc == nil || (s.Opts.JacobianLag > 0 && step%s.Opts.JacobianLag == 0) {
+					if err := d.AssembleJacobian(q, jac); err != nil {
+						return err
+					}
+					AddTimeDiagonal(jac, ts, cfl)
+					var err error
+					pc, err = s.PC(jac)
+					if err != nil {
+						return err
+					}
+					if s.Hooks != nil && s.Hooks.AfterJacobian != nil {
+						s.Hooks.AfterJacobian()
+					}
+				}
+				for i := range rhs {
+					rhs[i] = -r[i]
+					dq[i] = 0
+				}
+				var kop krylov.Operator = op
+				if s.Opts.AssembledOperator {
+					kop = assembled
+				}
+				kpc := pc
+				if s.Hooks != nil {
+					if s.Hooks.WrapOperator != nil {
+						kop = s.Hooks.WrapOperator(kop)
+					}
+					if s.Hooks.WrapPreconditioner != nil {
+						kpc = s.Hooks.WrapPreconditioner(kpc)
+					}
+				}
+				var err error
+				kst, err = krylov.Solve(kop, kpc, rhs, dq, s.Opts.Krylov)
+				return err
+			}()
+			if err == nil {
+				break
 			}
-			if s.Hooks.WrapPreconditioner != nil {
-				kpc = s.Hooks.WrapPreconditioner(kpc)
+			if s.Hooks != nil && s.Hooks.OnStepError != nil {
+				s.Hooks.OnStepError(step, attempts-1, err)
 			}
-		}
-		kst, err := krylov.Solve(kop, kpc, rhs, dq, s.Opts.Krylov)
-		if err != nil {
-			return nil, err
+			if attempts > s.Opts.StepRetries {
+				res.FinalRnorm = rnorm
+				res.TotalFluxEvals = fluxEvals + stepFlux
+				return res, fmt.Errorf("newton: step %d failed after %d attempt(s): %w", step, attempts, err)
+			}
+			// Force a clean refresh on the retry: a preconditioner built
+			// by a half-finished attempt must not be trusted.
+			pc = nil
 		}
 		// Line search (backtracking) on the residual norm.
 		lambda := 1.0
