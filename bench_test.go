@@ -64,7 +64,10 @@ func TestPhaseProfileBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := prof.Default.WriteJSON(f, 0); err != nil {
+	// The baseline layout (sorted phases, identity fields split from the
+	// rounded samples) keeps re-records from churning lines whose
+	// measurements did not really move.
+	if err := prof.WriteBaselineJSON(f, prof.Default.Report(0)); err != nil {
 		t.Fatal(err)
 	}
 

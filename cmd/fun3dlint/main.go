@@ -5,19 +5,25 @@
 // library panics, map-ordered floating-point reductions, and the
 // commcheck family guarding the overlap path — request/Wait pairing,
 // tag registry discipline, overlap-window purity, and the flop-count
-// cross-checker. It is part of `make verify`; any finding fails the
-// build.
+// cross-checker — plus the codegen conformance budget (the compiler's
+// own escape/inline/bounds-check diagnostics held to
+// codegen.budget.json). It is part of `make verify`; any finding fails
+// the build.
 //
 // Usage:
 //
-//	fun3dlint [-json] [-only analyzer] [packages]
+//	fun3dlint [-json] [-only analyzer] [-list] [-update-budget] [packages]
 //
 // Packages are module-relative patterns ("./...", "./internal/...", or
 // plain package directories); the default is "./...". With -only, the
 // full suite still runs (so pragma hygiene stays whole-suite) but only
 // the named analyzer's findings are reported and counted toward the
-// exit status. Exit status is 1 when findings are reported, 2 on load
-// or usage errors.
+// exit status. -list prints the analyzer registry with the one-line
+// invariants the README table carries. -update-budget re-records the
+// codegen budget's toolchain pin to the running toolchain — an
+// intentional act after reviewing the new compiler's diagnostics.
+// Exit status is 1 when findings are reported, 2 on load or usage
+// errors.
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
+	"petscfun3d/internal/codegen"
 	"petscfun3d/internal/lint"
 )
 
@@ -48,9 +56,11 @@ func main() {
 	log.SetPrefix("fun3dlint: ")
 	asJSON := flag.Bool("json", false, "report findings as a versioned JSON object (for CI)")
 	only := flag.String("only", "", "report only this analyzer's findings")
+	list := flag.Bool("list", false, "print the analyzer registry with its one-line invariants and exit")
+	updateBudget := flag.Bool("update-budget", false, "re-record the codegen budget's toolchain pin to this toolchain and exit")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
-		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [-only analyzer] [packages]\n")
+		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [-only analyzer] [-list] [-update-budget] [packages]\n")
 		flag.PrintDefaults()
 		_, _ = fmt.Fprintf(out, "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -59,6 +69,12 @@ func main() {
 	}
 	flag.Parse()
 
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Invariant)
+		}
+		return
+	}
 	if *only != "" && !knownAnalyzer(*only) {
 		os.Exit(fatal(fmt.Errorf("unknown analyzer %q (see fun3dlint -h for the list)", *only)))
 	}
@@ -73,6 +89,9 @@ func main() {
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
 		os.Exit(fatal(err))
+	}
+	if *updateBudget {
+		os.Exit(recordBudget(root))
 	}
 	findings, err := lint.RunPatterns(root, patterns)
 	if err != nil {
@@ -143,6 +162,26 @@ func knownAnalyzer(name string) bool {
 		}
 	}
 	return false
+}
+
+// recordBudget rewrites the codegen budget's toolchain pin to the
+// running toolchain. The zero-escape/zero-bounds-check policy itself
+// never changes — only the compiler version the diagnostics were
+// reviewed under — so this is the whole of "re-recording": an explicit,
+// diffable statement that someone looked at the new toolchain's output.
+func recordBudget(root string) int {
+	path := filepath.Join(root, codegen.BudgetFile)
+	b, err := codegen.LoadBudget(path)
+	if err != nil {
+		return fatal(fmt.Errorf("cannot update budget: %v", err))
+	}
+	old := b.GoVersion
+	b.GoVersion = runtime.Version()
+	if err := b.Save(path); err != nil {
+		return fatal(err)
+	}
+	fmt.Printf("%s: toolchain pin %s -> %s\n", codegen.BudgetFile, old, b.GoVersion)
+	return 0
 }
 
 func fatal(err error) int {

@@ -1,0 +1,83 @@
+package codegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BudgetSchema versions the manifest shape so a consumer can detect an
+// incompatible change instead of misreading it.
+const BudgetSchema = "petscfun3d-codegen-budget/1"
+
+// BudgetFile is the manifest's name at the module root.
+const BudgetFile = "codegen.budget.json"
+
+// PackageBudget is the per-package conformance policy. The hot-function
+// set a package is held to is the union of the costsync registry's
+// kernels for that package (automatic: anything whose cost coefficients
+// are pinned is hot by definition) and the Hot list here. The budget
+// for every hot function is zero: no heap escapes, no bounds checks in
+// its innermost loops. Individual irreducible sites are waived in the
+// source with audited //lint:escape-ok / //lint:bce-ok pragmas, not
+// here, so every waiver carries a reason next to the code it excuses.
+type PackageBudget struct {
+	// Hot names functions ("Func" or "Type.Method") held to the
+	// zero-escape / zero-bounds-check discipline in addition to the
+	// costsync registry kernels.
+	Hot []string `json:"hot,omitempty"`
+	// MustInline names small helpers the cost formulas assume are
+	// flattened into their callers; the compiler must report each as
+	// inlinable.
+	MustInline []string `json:"must_inline,omitempty"`
+}
+
+// Budget is the checked-in manifest. Packages not listed are not
+// compiled or checked, so test fixtures and cold packages cost nothing.
+type Budget struct {
+	Schema string `json:"schema"`
+	// GoVersion pins the toolchain the budget was recorded against
+	// (runtime.Version() form, e.g. "go1.24.0"). Escape analysis,
+	// inlining heuristics, and prove all move between releases, so a
+	// mismatch is reported instead of silently checking against a
+	// different compiler. Re-record with `fun3dlint -update-budget`.
+	GoVersion string                   `json:"go_version"`
+	Packages  map[string]PackageBudget `json:"packages"`
+}
+
+// LoadBudget reads and validates a manifest. A missing file is returned
+// as the underlying *PathError so callers can distinguish "no policy
+// here" (os.IsNotExist) from a broken manifest.
+func LoadBudget(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("codegen: %s: %v", path, err)
+	}
+	if b.Schema != BudgetSchema {
+		return nil, fmt.Errorf("codegen: %s: schema %q, want %q", path, b.Schema, BudgetSchema)
+	}
+	if b.GoVersion == "" {
+		return nil, fmt.Errorf("codegen: %s: missing go_version pin", path)
+	}
+	return &b, nil
+}
+
+// Save writes the manifest with sorted lists and stable formatting, so
+// re-recording is a minimal diff.
+func (b *Budget) Save(path string) error {
+	for name, pb := range b.Packages {
+		sort.Strings(pb.Hot)
+		sort.Strings(pb.MustInline)
+		b.Packages[name] = pb
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,183 @@
+package codegen
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+const sampleOutput = `# fixture/sample
+./csr.go:25:6: can inline (*CSR).NNZ with cost 4 as: method(*CSR) func() int { return len(a.ColIdx) }
+./csr.go:46:6: cannot inline (*CSR).MulVec: function too complex: cost 176 exceeds budget 80
+./csr.go:49:28: ... argument does not escape
+./csr.go:49:28: fmt.Sprintf("dim %d", a.N) escapes to heap:
+./csr.go:49:28:   flow: {storage for ... argument} = &{storage for fmt.Sprintf("dim %d", a.N)}:
+./csr.go:49:28:     from fmt.Sprintf("dim %d", a.N) (spill) at ./csr.go:49:28
+./csr.go:46:20: leaking param: x
+./csr.go:54:14: Found IsInBounds
+./csr.go:54:24: Found IsSliceInBounds
+./disc.go:184:6: moved to heap: qa
+./disc.go:190:13: inlining call to gather
+./bcsr.go:80:6: can inline mulVecGeneric[go.shape.int32] with cost 70 as: ...
+`
+
+func TestParseDiagnostics(t *testing.T) {
+	diags := ParseDiagnostics(sampleOutput, "pkg")
+	want := []struct {
+		kind   Kind
+		line   int
+		symbol string
+	}{
+		{KindCanInline, 25, "CSR.NNZ"},
+		{KindCannotInline, 46, "CSR.MulVec"},
+		{KindEscape, 49, ""},
+		{KindBoundsCheck, 54, ""},
+		{KindBoundsCheck, 54, ""},
+		{KindMoved, 184, ""},
+		{KindCanInline, 80, "mulVecGeneric"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("parsed %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Kind != w.kind || d.Line != w.line || d.Symbol != w.symbol {
+			t.Errorf("diag %d = %v %d %q, want %v %d %q", i, d.Kind, d.Line, d.Symbol, w.kind, w.line, w.symbol)
+		}
+		if d.File != filepath.Clean(filepath.Join("pkg", "csr.go")) &&
+			d.File != filepath.Clean(filepath.Join("pkg", "disc.go")) &&
+			d.File != filepath.Clean(filepath.Join("pkg", "bcsr.go")) {
+			t.Errorf("diag %d file = %q, not joined onto the package dir", i, d.File)
+		}
+	}
+	// The -m=2 flow chain attached to the escape, indentation stripped.
+	esc := diags[2]
+	if len(esc.Chain) != 2 || esc.Chain[0] != "flow: {storage for ... argument} = &{storage for fmt.Sprintf(\"dim %d\", a.N)}:" {
+		t.Errorf("escape chain = %q, want the two flow lines", esc.Chain)
+	}
+	if esc.Message != `fmt.Sprintf("dim %d", a.N) escapes to heap` {
+		t.Errorf("escape message = %q, want the trailing colon stripped", esc.Message)
+	}
+}
+
+func TestNormalizeSymbol(t *testing.T) {
+	cases := map[string]string{
+		"(*CSR).MulVec":                 "CSR.MulVec",
+		"CSR.NNZ":                       "CSR.NNZ",
+		"Dot":                           "Dot",
+		"mulVecGeneric[go.shape.int32]": "mulVecGeneric",
+		"(*BCSR).mulVec4":               "BCSR.mulVec4",
+	}
+	for in, want := range cases {
+		if got := NormalizeSymbol(in); got != want {
+			t.Errorf("NormalizeSymbol(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, BudgetFile)
+	b := &Budget{
+		Schema:    BudgetSchema,
+		GoVersion: runtime.Version(),
+		Packages: map[string]PackageBudget{
+			"example/pkg": {Hot: []string{"Z", "A"}, MustInline: []string{"tiny"}},
+		},
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoVersion != runtime.Version() || got.Schema != BudgetSchema {
+		t.Errorf("round trip lost header: %+v", got)
+	}
+	pb := got.Packages["example/pkg"]
+	if len(pb.Hot) != 2 || pb.Hot[0] != "A" || pb.Hot[1] != "Z" {
+		t.Errorf("hot list not sorted on save: %v", pb.Hot)
+	}
+	if _, err := LoadBudget(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Errorf("missing manifest: err = %v, want os.IsNotExist", err)
+	}
+}
+
+func TestBudgetRejectsBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, BudgetFile)
+	if err := os.WriteFile(path, []byte(`{"schema":"other/9","go_version":"go1.0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBudget(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"`+BudgetSchema+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBudget(path); err == nil {
+		t.Error("missing go_version accepted")
+	}
+}
+
+// TestAnalyzeLive compiles a small throwaway module and checks the
+// parsed diagnostics include a deliberate escape, a deliberate bounds
+// check, and both inlining decisions — the live end of what
+// TestParseDiagnostics pins on canned output.
+func TestAnalyzeLive(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module codegenlive\n\ngo 1.22\n")
+	writeFile("live.go", `package codegenlive
+
+var sink *int
+
+// Escape forces x to the heap.
+func Escape() *int {
+	x := 42
+	sink = &x
+	return sink
+}
+
+// Bounds cannot prove len(xs) covers n.
+func Bounds(xs []float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// Tiny inlines.
+func Tiny(a, b float64) float64 { return a*b + b }
+`)
+	rep, err := Analyze(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoVersion != runtime.Version() {
+		t.Errorf("report GoVersion = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	var sawMoved, sawBounds, sawTiny bool
+	for _, d := range rep.Diagnostics {
+		switch {
+		case d.Kind == KindMoved && d.Message == "moved to heap: x":
+			sawMoved = true
+		case d.Kind == KindBoundsCheck:
+			sawBounds = true
+		case d.Kind == KindCanInline && d.Symbol == "Tiny":
+			sawTiny = true
+		}
+	}
+	if !sawMoved || !sawBounds || !sawTiny {
+		t.Errorf("live diagnostics missing moved=%v bounds=%v inline=%v:\n%v",
+			sawMoved, sawBounds, sawTiny, rep.Diagnostics)
+	}
+}

@@ -276,9 +276,12 @@ func (m *Matrix) Dot(x, y []float64) float64 {
 	n := m.LocalN()
 	sp := m.Prof.Begin(prof.PhaseReduce)
 	defer sp.End(dotFlops(n), dotBytes(n))
+	xs := x[:n]
+	ys := y[:n]
+	ys = ys[:len(xs)] // bce: ties len(ys) to len(xs); the range index serves both streams unchecked
 	var s float64
-	for i := 0; i < n; i++ {
-		s += x[i] * y[i]
+	for i := range xs {
+		s += xs[i] * ys[i]
 	}
 	return m.Comm.AllReduceSum(s)
 }

@@ -2,11 +2,23 @@ package euler
 
 import (
 	"fmt"
+	"sync"
 
 	"petscfun3d/internal/mesh"
 	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
+
+// fluxWorkspace is the per-sweep scratch for one flux traversal: the
+// gathered endpoint states, the reconstructed face states, and the flux
+// and its scratch. The arrays live here — not as locals in the sweep —
+// because they are passed to System interface methods, which makes
+// stack locals escape to the heap inside the hot loops (the codegen
+// budget forbids that). Workspaces are borrowed from a pool because the
+// distributed ranks run as goroutines over one shared Discretization.
+type fluxWorkspace struct {
+	qa, qb, ql, qr, flux, scratch [5]float64
+}
 
 // edgeData is one edge of the flux loop: endpoints and the directed dual
 // face area, kept together so the loop can run in any edge order.
@@ -54,7 +66,20 @@ type Discretization struct {
 	// Private residual scratch for ResidualParallel, one per extra
 	// thread, grown lazily to the largest thread count seen.
 	privRes [][]float64
+	// Flux-sweep scratch states, pooled so concurrent sweeps (the
+	// distributed ranks share one Discretization) each borrow their own.
+	wsPool sync.Pool
 }
+
+// getWS borrows a flux workspace; pair with putWS when the sweep ends.
+func (d *Discretization) getWS() *fluxWorkspace {
+	if w, ok := d.wsPool.Get().(*fluxWorkspace); ok {
+		return w
+	}
+	return &fluxWorkspace{} // one workspace per concurrent sweep, recycled through the pool thereafter
+}
+
+func (d *Discretization) putWS(w *fluxWorkspace) { d.wsPool.Put(w) }
 
 // NewDiscretization builds a discretization. geo may be nil, in which
 // case the geometry is computed.
@@ -124,28 +149,44 @@ func (d *Discretization) idx(v int32, c int) int {
 	return sparse.ScalarIndex(d.Opts.Layout, d.M.NumVertices(), d.Sys.B(), int(v), c)
 }
 
-// gather copies vertex v's state into dst.
+// gather copies vertex v's state into dst. The interlaced fast path is
+// kept small enough to inline into the flux sweeps; the strided layouts
+// go through the out-of-line helper. len(dst) carries the block size so
+// the fast path needs no interface call.
 func (d *Discretization) gather(q []float64, v int32, dst []float64) {
-	if d.Opts.Layout == sparse.Interlaced {
-		b := d.Sys.B()
-		copy(dst, q[int(v)*b:int(v)*b+b])
+	if d.Opts.Layout != sparse.Interlaced {
+		d.gatherStrided(q, v, dst)
 		return
 	}
+	copy(dst, q[int(v)*len(dst):])
+}
+
+// gatherStrided is kept out of line (a call to an inlinable function is
+// charged its full body cost, which would push gather past the inlining
+// budget; a plain call is cheaper to the inliner).
+//
+//go:noinline
+func (d *Discretization) gatherStrided(q []float64, v int32, dst []float64) {
 	for c := range dst {
 		dst[c] = q[d.idx(v, c)]
 	}
 }
 
-// scatterAdd accumulates src into vertex v's residual with sign.
+// scatterAdd accumulates src into vertex v's residual with sign. Split
+// like gather so the interlaced path inlines into the flux sweeps.
 func (d *Discretization) scatterAdd(r []float64, v int32, src []float64, sign float64) {
-	if d.Opts.Layout == sparse.Interlaced {
-		b := d.Sys.B()
-		rs := r[int(v)*b : int(v)*b+b]
-		for c := range src {
-			rs[c] += sign * src[c]
-		}
+	if d.Opts.Layout != sparse.Interlaced {
+		d.scatterAddStrided(r, v, src, sign)
 		return
 	}
+	b := len(src)
+	rs := r[int(v)*b : int(v)*b+b]
+	for c, s := range src {
+		rs[c] += sign * s
+	}
+}
+
+func (d *Discretization) scatterAddStrided(r []float64, v int32, src []float64, sign float64) {
 	for c := range src {
 		r[d.idx(v, c)] += sign * src[c]
 	}
@@ -170,8 +211,9 @@ func (d *Discretization) FreestreamVector() []float64 {
 func (d *Discretization) Residual(q, r []float64) {
 	sp := prof.Begin(prof.PhaseFlux)
 	b := d.Sys.B()
-	for i := range r[:d.N()] {
-		r[i] = 0
+	rs := r[:d.N()] // bce: one range check here; the zero loop then indexes the tied slice unchecked
+	for i := range rs {
+		rs[i] = 0
 	}
 	if d.Opts.Order == 2 {
 		gsp := prof.Begin(prof.PhaseGradient)
@@ -181,19 +223,23 @@ func (d *Discretization) Residual(q, r []float64) {
 		}
 		gsp.End(d.gradientFlops(), d.gradientBytes())
 	}
-	var qa, qb, ql, qr, flux, scratch [5]float64
+	ws := d.getWS()
+	qa, qb, ql, qr := ws.qa[:b], ws.qb[:b], ws.ql[:b], ws.qr[:b]
+	flux, scratch := ws.flux[:b], ws.scratch[:b]
+	secondOrder := d.Opts.Order == 2
 	for _, e := range d.edges {
-		d.gather(q, e.a, qa[:b])
-		d.gather(q, e.b, qb[:b])
-		la, ra := qa[:b], qb[:b]
-		if d.Opts.Order == 2 {
-			d.reconstruct(e, qa[:b], qb[:b], ql[:b], qr[:b])
-			la, ra = ql[:b], qr[:b]
+		d.gather(q, e.a, qa) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		d.gather(q, e.b, qb) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		la, ra := qa, qb
+		if secondOrder {
+			d.reconstruct(e, qa, qb, ql, qr)
+			la, ra = ql, qr
 		}
-		NumFlux(d.Sys, la, ra, e.n, flux[:b], scratch[:b])
-		d.scatterAdd(r, e.a, flux[:b], +1)
-		d.scatterAdd(r, e.b, flux[:b], -1)
+		NumFlux(d.Sys, la, ra, e.n, flux, scratch)
+		d.scatterAdd(r, e.a, flux, +1)
+		d.scatterAdd(r, e.b, flux, -1)
 	}
+	d.putWS(ws)
 	if d.Opts.Viscosity > 0 {
 		d.addDiffusion(q, r)
 	}
@@ -205,24 +251,27 @@ func (d *Discretization) Residual(q, r []float64) {
 func (d *Discretization) boundaryResidual(q, r []float64) {
 	b := d.Sys.B()
 	inf := d.Sys.Freestream()
-	var qi, flux, scratch [5]float64
-	for v := int32(0); v < int32(d.M.NumVertices()); v++ {
-		kind := d.M.BKind[v]
+	ws := d.getWS()
+	qi, flux, scratch := ws.qa[:b], ws.flux[:b], ws.scratch[:b]
+	bk := d.M.BKind
+	ba := d.Geo.BoundaryArea[:len(bk)] // bce: ties len(ba) to len(bk); the vertex index serves both unchecked
+	for v, kind := range bk {
 		if kind == mesh.BNone {
 			continue
 		}
-		s := d.Geo.BoundaryArea[v]
-		d.gather(q, v, qi[:b])
+		s := ba[v]
+		d.gather(q, int32(v), qi) //lint:bce-ok the gathered row offset is v*b, a product prove cannot relate to len(q)
 		switch kind {
 		case mesh.BInflow, mesh.BOutflow:
 			// Weak characteristic farfield: upwind flux against the
 			// freestream ghost state.
-			NumFlux(d.Sys, qi[:b], inf, s, flux[:b], scratch[:b])
+			NumFlux(d.Sys, qi, inf, s, flux, scratch)
 		case mesh.BWall:
-			d.wallFlux(qi[:b], s, flux[:b])
+			d.wallFlux(qi, s, flux)
 		}
-		d.scatterAdd(r, v, flux[:b], +1)
+		d.scatterAdd(r, int32(v), flux, +1)
 	}
+	d.putWS(ws)
 }
 
 // wallFlux is the impermeable slip-wall flux: pressure force only.
@@ -253,37 +302,44 @@ func (d *Discretization) wallFlux(q []float64, s mesh.Vec3, out []float64) {
 func (d *Discretization) TimeScales(q []float64) []float64 {
 	b := d.Sys.B()
 	out := make([]float64, d.M.NumVertices())
-	var qa, qb [5]float64
+	ws := d.getWS()
+	qa, qb := ws.qa[:b], ws.qb[:b]
 	for _, e := range d.edges {
-		d.gather(q, e.a, qa[:b])
-		d.gather(q, e.b, qb[:b])
-		lam := d.Sys.SpectralRadius(qa[:b], e.n)
-		if l2 := d.Sys.SpectralRadius(qb[:b], e.n); l2 > lam {
+		d.gather(q, e.a, qa) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		d.gather(q, e.b, qb) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		lam := d.Sys.SpectralRadius(qa, e.n)
+		if l2 := d.Sys.SpectralRadius(qb, e.n); l2 > lam {
 			lam = l2
 		}
-		out[e.a] += lam
-		out[e.b] += lam
+		out[e.a] += lam //lint:bce-ok the accumulation scatters through the edge endpoints; both are data-dependent
+		out[e.b] += lam //lint:bce-ok the accumulation scatters through the edge endpoints; both are data-dependent
 	}
-	for v := int32(0); v < int32(d.M.NumVertices()); v++ {
-		if d.M.BKind[v] == mesh.BNone {
+	bk := d.M.BKind
+	ba := d.Geo.BoundaryArea[:len(bk)] // bce: ties len(ba) to len(bk); the vertex index serves both unchecked
+	outv := out[:len(bk)]              // bce: ties len(outv) to len(bk) the same way
+	for v, kind := range bk {
+		if kind == mesh.BNone {
 			continue
 		}
-		d.gather(q, v, qa[:b])
-		out[v] += d.Sys.SpectralRadius(qa[:b], d.Geo.BoundaryArea[v])
+		d.gather(q, int32(v), qa) //lint:bce-ok the gathered row offset is v*b, a product prove cannot relate to len(q)
+		outv[v] += d.Sys.SpectralRadius(qa, ba[v])
 	}
 	// Viscous stiffness: the diffusion operator's diagonal weight joins
 	// the pseudo-timestep scale so the continuation stays robust when
 	// diffusion dominates convection.
 	if d.Opts.Viscosity > 0 {
 		mu := d.Opts.Viscosity
-		for ei, e := range d.edges {
-			w := mu * d.diffW[ei]
+		edges := d.edges
+		dw := d.diffW[:len(edges)] // bce: ties len(dw) to the edge range; the ei index is then unchecked
+		for ei, e := range edges {
+			w := mu * dw[ei]
 			if w < 0 {
 				w = -w
 			}
-			out[e.a] += w
-			out[e.b] += w
+			out[e.a] += w //lint:bce-ok the accumulation scatters through the edge endpoints; both are data-dependent
+			out[e.b] += w //lint:bce-ok the accumulation scatters through the edge endpoints; both are data-dependent
 		}
 	}
+	d.putWS(ws)
 	return out
 }

@@ -45,15 +45,17 @@ func (d *Discretization) EdgeEndpoints(ei int32) (a, b int32) {
 // the preconditioner side of the paper's solver is.
 func (d *Discretization) ResidualEdges(q, r []float64, edges []int32) {
 	b := d.Sys.B()
-	var qa, qb, flux, scratch [5]float64
+	ws := d.getWS()
+	qa, qb, flux, scratch := ws.qa[:b], ws.qb[:b], ws.flux[:b], ws.scratch[:b]
 	for _, ei := range edges {
-		e := &d.edges[ei]
-		d.gather(q, e.a, qa[:b])
-		d.gather(q, e.b, qb[:b])
-		NumFlux(d.Sys, qa[:b], qb[:b], e.n, flux[:b], scratch[:b])
-		d.scatterAdd(r, e.a, flux[:b], +1)
-		d.scatterAdd(r, e.b, flux[:b], -1)
+		e := &d.edges[ei]    //lint:bce-ok the edge subset holds data-dependent indices into the full edge table
+		d.gather(q, e.a, qa) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		d.gather(q, e.b, qb) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		NumFlux(d.Sys, qa, qb, e.n, flux, scratch)
+		d.scatterAdd(r, e.a, flux, +1)
+		d.scatterAdd(r, e.b, flux, -1)
 	}
+	d.putWS(ws)
 }
 
 // BoundaryResidualMasked adds the boundary closure fluxes (weak
@@ -62,23 +64,27 @@ func (d *Discretization) ResidualEdges(q, r []float64, edges []int32) {
 func (d *Discretization) BoundaryResidualMasked(q, r []float64, owned []bool) {
 	b := d.Sys.B()
 	inf := d.Sys.Freestream()
-	var qi, flux, scratch [5]float64
-	for v := int32(0); v < int32(d.M.NumVertices()); v++ {
-		if !owned[v] {
+	ws := d.getWS()
+	qi, flux, scratch := ws.qa[:b], ws.flux[:b], ws.scratch[:b]
+	bk := d.M.BKind
+	ow := owned[:len(bk)]              // bce: ties len(ow) to len(bk); the vertex index serves both unchecked
+	ba := d.Geo.BoundaryArea[:len(bk)] // bce: ties len(ba) to len(bk) the same way
+	for v, kind := range bk {
+		if !ow[v] {
 			continue
 		}
-		kind := d.M.BKind[v]
 		if kind == mesh.BNone {
 			continue
 		}
-		s := d.Geo.BoundaryArea[v]
-		d.gather(q, v, qi[:b])
+		s := ba[v]
+		d.gather(q, int32(v), qi) //lint:bce-ok the gathered row offset is v*b, a product prove cannot relate to len(q)
 		switch kind {
 		case mesh.BInflow, mesh.BOutflow:
-			NumFlux(d.Sys, qi[:b], inf, s, flux[:b], scratch[:b])
+			NumFlux(d.Sys, qi, inf, s, flux, scratch)
 		case mesh.BWall:
-			d.wallFlux(qi[:b], s, flux[:b])
+			d.wallFlux(qi, s, flux)
 		}
-		d.scatterAdd(r, v, flux[:b], +1)
+		d.scatterAdd(r, int32(v), flux, +1)
 	}
+	d.putWS(ws)
 }

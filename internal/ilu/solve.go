@@ -21,13 +21,16 @@ func (f *Factorization) Solve(b, x []float64) {
 	for i := 0; i < f.NB; i++ {
 		xi := x[i*n : i*n+n]
 		copy(xi, b[i*n:i*n+n])
-		for k := f.RowPtr[i]; k < int32(f.diagK[i]); k++ {
+		for k := int(f.RowPtr[i]); k < int(f.diagK[i]); k++ {
 			j := int(f.ColIdx[k]) * n
-			blk := f.val64[int(k)*bb : (int(k)+1)*bb]
+			blk := f.val64[k*bb : k*bb+bb]
+			xs := x[j : j+n]
 			for r := 0; r < n; r++ {
+				row := blk[r*n:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var s float64
-				for c := 0; c < n; c++ {
-					s += blk[r*n+c] * x[j+c]
+				for c, w := range row {
+					s += w * xs[c]
 				}
 				xi[r] -= s
 			}
@@ -41,22 +44,27 @@ func (f *Factorization) Solve(b, x []float64) {
 	}
 	for i := f.NB - 1; i >= 0; i-- {
 		xi := x[i*n : i*n+n]
-		for k := f.diagK[i] + 1; k < f.RowPtr[i+1]; k++ {
+		for k := int(f.diagK[i]) + 1; k < int(f.RowPtr[i+1]); k++ {
 			j := int(f.ColIdx[k]) * n
-			blk := f.val64[int(k)*bb : (int(k)+1)*bb]
+			blk := f.val64[k*bb : k*bb+bb]
+			xs := x[j : j+n]
 			for r := 0; r < n; r++ {
+				row := blk[r*n:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var s float64
-				for c := 0; c < n; c++ {
-					s += blk[r*n+c] * x[j+c]
+				for c, w := range row {
+					s += w * xs[c]
 				}
 				xi[r] -= s
 			}
 		}
 		inv := f.invDiag64[i*bb : (i+1)*bb]
 		for r := 0; r < n; r++ {
+			row := inv[r*n:]
+			row = row[:len(xi)] // bce: ties len(row) to len(xi); the c index needs one range check, not two
 			var s float64
-			for c := 0; c < n; c++ {
-				s += inv[r*n+c] * xi[c]
+			for c, w := range row {
+				s += w * xi[c]
 			}
 			tmp[r] = s
 		}
@@ -72,13 +80,16 @@ func (f *Factorization) solve32(b, x []float64) {
 	for i := 0; i < f.NB; i++ {
 		xi := x[i*n : i*n+n]
 		copy(xi, b[i*n:i*n+n])
-		for k := f.RowPtr[i]; k < int32(f.diagK[i]); k++ {
+		for k := int(f.RowPtr[i]); k < int(f.diagK[i]); k++ {
 			j := int(f.ColIdx[k]) * n
-			blk := f.val32[int(k)*bb : (int(k)+1)*bb]
+			blk := f.val32[k*bb : k*bb+bb]
+			xs := x[j : j+n]
 			for r := 0; r < n; r++ {
+				row := blk[r*n:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var s float64
-				for c := 0; c < n; c++ {
-					s += float64(blk[r*n+c]) * x[j+c]
+				for c, w := range row {
+					s += float64(w) * xs[c]
 				}
 				xi[r] -= s
 			}
@@ -91,22 +102,27 @@ func (f *Factorization) solve32(b, x []float64) {
 	}
 	for i := f.NB - 1; i >= 0; i-- {
 		xi := x[i*n : i*n+n]
-		for k := f.diagK[i] + 1; k < f.RowPtr[i+1]; k++ {
+		for k := int(f.diagK[i]) + 1; k < int(f.RowPtr[i+1]); k++ {
 			j := int(f.ColIdx[k]) * n
-			blk := f.val32[int(k)*bb : (int(k)+1)*bb]
+			blk := f.val32[k*bb : k*bb+bb]
+			xs := x[j : j+n]
 			for r := 0; r < n; r++ {
+				row := blk[r*n:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var s float64
-				for c := 0; c < n; c++ {
-					s += float64(blk[r*n+c]) * x[j+c]
+				for c, w := range row {
+					s += float64(w) * xs[c]
 				}
 				xi[r] -= s
 			}
 		}
 		inv := f.invDiag32[i*bb : (i+1)*bb]
 		for r := 0; r < n; r++ {
+			row := inv[r*n:]
+			row = row[:len(xi)] // bce: ties len(row) to len(xi); the c index needs one range check, not two
 			var s float64
-			for c := 0; c < n; c++ {
-				s += float64(inv[r*n+c]) * xi[c]
+			for c, w := range row {
+				s += float64(w) * xi[c]
 			}
 			tmp[r] = s
 		}

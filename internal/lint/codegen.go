@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"petscfun3d/internal/codegen"
+)
+
+// Codegen enforces the compiler-codegen conformance budget
+// (codegen.budget.json at the module root): the compiled form of every
+// hot kernel must match what the cost formulas price. Three rules, all
+// derived from the compiler's own -m=2 / check_bce diagnostics:
+//
+//  1. No stack variable of a hot function may be moved to the heap
+//     (anywhere in the function — the diagnostic points at the
+//     declaration, but the loops pay for the allocation), and no
+//     allocation site inside a hot function's loops may escape.
+//  2. No bounds check may survive in a hot function's innermost loops:
+//     an IsInBounds in a loop modeled as pure streaming adds a branch
+//     and a length load per iteration the roofline bytes do not price.
+//  3. Every helper on the budget's must-inline list must be reported
+//     inlinable: the per-iteration coefficients assume those calls are
+//     flattened.
+//
+// Hot functions are the union of the costsync registry's kernels for
+// the package (anything with pinned cost coefficients is hot by
+// definition) and the manifest's per-package hot list. Packages absent
+// from the manifest are not compiled or checked. Irreducible sites —
+// a gather through a data-dependent index can never prove its bounds —
+// are waived in the source with audited //lint:escape-ok / //lint:bce-ok
+// pragmas. The manifest pins the toolchain version it was recorded
+// against; on mismatch the analyzer reports the version skew instead of
+// checking against a compiler with different heuristics (re-record with
+// `fun3dlint -update-budget` after reviewing the new diagnostics).
+var Codegen = &Analyzer{
+	Name:      "codegen",
+	Doc:       "compiled hot kernels meet the codegen budget: no escapes, no inner-loop bounds checks, helpers inline",
+	Invariant: "The compiled kernels are what the model prices: the compiler's own diagnostics show no heap escapes and no surviving innermost-loop bounds checks in hot kernels, and the per-edge helpers inline (`codegen.budget.json`, toolchain-pinned).",
+	Run:       runCodegen,
+}
+
+func runCodegen(pass *Pass) {
+	root, err := FindModuleRoot(pass.Pkg.Dir)
+	if err != nil {
+		return // outside any module: nothing to enforce
+	}
+	budgetPath := filepath.Join(root, codegen.BudgetFile)
+	budget, err := codegen.LoadBudget(budgetPath)
+	if os.IsNotExist(err) {
+		return // no manifest, no policy (keeps unrelated fixtures cheap)
+	}
+	if err != nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "codegen budget unreadable: %v", err)
+		return
+	}
+	pb, ok := budget.Packages[pass.Pkg.Path]
+	if !ok {
+		return // package not under the conformance policy
+	}
+
+	hot := map[string]bool{}
+	for _, c := range costChecks {
+		if c.pkg == pass.Pkg.Path {
+			hot[c.kernel] = true
+		}
+	}
+	for _, name := range pb.Hot {
+		hot[name] = true
+	}
+	if len(hot) == 0 && len(pb.MustInline) == 0 {
+		return
+	}
+
+	if budget.GoVersion != runtime.Version() {
+		pass.Reportf(pass.Pkg.Files[0].Pos(),
+			"codegen budget %s was recorded against %s but this toolchain is %s; escape/inline/BCE heuristics are compiler-version-specific — review `fun3dlint -only codegen` under the new toolchain, sweep or waive what changed, then re-record the pin with `fun3dlint -update-budget`",
+			codegen.BudgetFile, budget.GoVersion, runtime.Version())
+		return
+	}
+
+	rep, err := codegen.Analyze(pass.Pkg.Dir)
+	if err != nil {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "codegen: %v", err)
+		return
+	}
+
+	spans := hotFunctionSpans(pass, hot)
+	canInline := map[string]bool{}
+	cannotInline := map[string]codegen.Diagnostic{}
+	for _, d := range rep.Diagnostics {
+		switch d.Kind {
+		case codegen.KindCanInline:
+			canInline[d.Symbol] = true
+		case codegen.KindCannotInline:
+			cannotInline[d.Symbol] = d
+		case codegen.KindMoved:
+			if fs := enclosingHotFunction(spans, d); fs != nil {
+				pass.ReportAtf(diagPosition(d), "escape-ok",
+					"hot kernel %s: %s — a stack variable forced to the heap adds allocator traffic the roofline bytes do not price%s",
+					fs.name, d.Message, chainSuffix(d))
+			}
+		case codegen.KindEscape:
+			if fs := enclosingHotFunction(spans, d); fs != nil && fs.inLoop(d.Line) {
+				pass.ReportAtf(diagPosition(d), "escape-ok",
+					"hot kernel %s: %s inside its loop — a per-iteration heap allocation in a kernel modeled as pure streaming%s",
+					fs.name, d.Message, chainSuffix(d))
+			}
+		case codegen.KindBoundsCheck:
+			if fs := enclosingHotFunction(spans, d); fs != nil && fs.inInnermostLoop(d.Line) {
+				pass.ReportAtf(diagPosition(d), "bce-ok",
+					"hot kernel %s: bounds check survives in an innermost loop (%s) — an unmodeled branch and length load per iteration; add a slice-length hint or hoist the bound",
+					fs.name, d.Message)
+			}
+		}
+	}
+
+	for _, name := range pb.MustInline {
+		if canInline[name] {
+			continue
+		}
+		if d, ok := cannotInline[name]; ok {
+			pass.ReportAtf(diagPosition(d), "",
+				"must-inline helper %s: %s — the per-iteration cost coefficients assume this call is flattened",
+				name, d.Message)
+			continue
+		}
+		pos := pass.Pkg.Files[0].Pos()
+		if fd := findFuncDecl(pass.Pkg, name); fd != nil {
+			pos = fd.Pos()
+		}
+		pass.Reportf(pos,
+			"codegen budget lists must-inline helper %s but the compiler emitted no inlining decision for it (renamed or removed?); update %s",
+			name, codegen.BudgetFile)
+	}
+}
+
+// lineSpan is a [start, end] line interval within one file.
+type lineSpan struct{ start, end int }
+
+func (s lineSpan) contains(line int) bool { return line >= s.start && line <= s.end }
+
+// funcSpan is the textual extent of one hot function plus its loop
+// intervals, the geometry compiler diagnostics are matched against.
+type funcSpan struct {
+	name  string
+	file  string
+	body  lineSpan
+	loops []lineSpan // every for/range statement, nested included
+	inner []lineSpan // loops containing no other loop
+}
+
+func (f *funcSpan) inLoop(line int) bool {
+	for _, s := range f.loops {
+		if s.contains(line) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *funcSpan) inInnermostLoop(line int) bool {
+	for _, s := range f.inner {
+		if s.contains(line) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotFunctionSpans maps every budgeted hot function to its file/line
+// geometry; a hot name with no declaration is itself a finding (the
+// budget rotted).
+func hotFunctionSpans(pass *Pass, hot map[string]bool) []*funcSpan {
+	names := make([]string, 0, len(hot))
+	for n := range hot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []*funcSpan
+	for _, name := range names {
+		fd := findFuncDecl(pass.Pkg, name)
+		if fd == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"codegen budget names hot function %s which no longer exists in %s; update %s or the costsync registry",
+				name, pass.Pkg.Path, codegen.BudgetFile)
+			continue
+		}
+		start := pass.Fset.Position(fd.Pos())
+		end := pass.Fset.Position(fd.End())
+		fs := &funcSpan{
+			name: name,
+			file: filepath.Clean(start.Filename),
+			body: lineSpan{start.Line, end.Line},
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			body := loopBody(n)
+			if body == nil {
+				return true
+			}
+			s := lineSpan{pass.Fset.Position(n.Pos()).Line, pass.Fset.Position(n.End()).Line}
+			fs.loops = append(fs.loops, s)
+			if !containsLoopDeep(body) {
+				fs.inner = append(fs.inner, s)
+			}
+			return true
+		})
+		out = append(out, fs)
+	}
+	return out
+}
+
+// containsLoopDeep reports whether body contains any for/range
+// statement, descending into function literals too: the matching here
+// is textual (compiler diagnostics carry positions, not scopes), so a
+// loop inside a closure still makes the enclosing loop non-innermost.
+func containsLoopDeep(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func enclosingHotFunction(spans []*funcSpan, d codegen.Diagnostic) *funcSpan {
+	file := filepath.Clean(d.File)
+	for _, fs := range spans {
+		if fs.file == file && fs.body.contains(d.Line) {
+			return fs
+		}
+	}
+	return nil
+}
+
+func diagPosition(d codegen.Diagnostic) token.Position {
+	return token.Position{Filename: filepath.Clean(d.File), Line: d.Line, Column: d.Col}
+}
+
+func chainSuffix(d codegen.Diagnostic) string {
+	if len(d.Chain) == 0 {
+		return ""
+	}
+	return " (" + d.Chain[0] + ")"
+}

@@ -20,9 +20,10 @@ const machinePath = "petscfun3d/internal/machine"
 // measured tables; a formula is shared with the model and tested once.
 // Zero is always allowed ("counts unknown; nested spans carry them").
 var CostConst = &Analyzer{
-	Name: "costconst",
-	Doc:  "flop/byte counts come from central *Flops/*Bytes cost formulas",
-	Run:  runCostConst,
+	Name:      "costconst",
+	Doc:       "flop/byte counts come from central *Flops/*Bytes cost formulas",
+	Invariant: "Flop/byte counts are provenance-tracked: spans and the machine model charge named `*Flops`/`*Bytes` formulas, never hand-rolled literals.",
+	Run:       runCostConst,
 }
 
 // costFormulaName matches the shared cost-formula naming convention.

@@ -30,9 +30,10 @@ import (
 // Findings are not suppressible: a mismatch means either the kernel or
 // the formula is wrong, and both are this package's to fix.
 var CostSync = &Analyzer{
-	Name: "costsync",
-	Doc:  "cost formula coefficients match the kernel loops they model",
-	Run:  runCostSync,
+	Name:      "costsync",
+	Doc:       "cost formula coefficients match the kernel loops they model",
+	Invariant: "The cost formulas count what the kernels do: symbolic per-iteration op counts of the loop bodies match the formulas' leading coefficients.",
+	Run:       runCostSync,
 }
 
 // loopTerm attributes per-iteration kernel work to the count variable:

@@ -14,9 +14,10 @@ import (
 // exactly, so a nondeterministic reduction order is a real bug, not a
 // style nit. Iterate a sorted key slice instead.
 var DetOrder = &Analyzer{
-	Name: "detorder",
-	Doc:  "no floating-point accumulation ordered by map iteration",
-	Run:  runDetOrder,
+	Name:      "detorder",
+	Doc:       "no floating-point accumulation ordered by map iteration",
+	Invariant: "Parallel-vs-serial validation is bitwise: no float accumulation over map iteration order.",
+	Run:       runDetOrder,
 }
 
 func runDetOrder(pass *Pass) {

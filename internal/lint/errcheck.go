@@ -17,9 +17,10 @@ import (
 // (strings.Builder, bytes.Buffer) whose Write methods are documented
 // never to fail.
 var ErrCheck = &Analyzer{
-	Name: "errcheck",
-	Doc:  "no silently dropped error returns; no panic in library code",
-	Run:  runErrCheck,
+	Name:      "errcheck",
+	Doc:       "no silently dropped error returns; no panic in library code",
+	Invariant: "Measurements cannot be silently truncated: no dropped error returns, no `panic` in library code.",
+	Run:       runErrCheck,
 }
 
 // droppedErrorExempt lists callees whose error results are universally

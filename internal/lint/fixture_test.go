@@ -80,6 +80,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"tagconst", false},
 		{"overlapregion", false},
 		{"costsync", false},
+		{"codegen", false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

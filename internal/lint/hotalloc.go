@@ -12,9 +12,10 @@ import (
 // phase profile. One-time setup allocations carry a
 // //lint:alloc-ok <reason> pragma.
 var HotAlloc = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "no make/append/map/closure allocations in loop bodies of hot packages",
-	Run:  runHotAlloc,
+	Name:      "hotalloc",
+	Doc:       "no make/append/map/closure allocations in loop bodies of hot packages",
+	Invariant: "The sweeps are bandwidth-limited (§3): no allocation inside hot kernel loops, or the roofline times stop explaining the measurements.",
+	Run:       runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) {

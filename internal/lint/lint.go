@@ -21,6 +21,13 @@
 // formulas the profiler charges must match the kernel loops they model,
 // coefficient by coefficient (costsync).
 //
+// The codegen analyzer closes the last gap between the model and the
+// machine: it replays the compiler's own escape-analysis, inlining, and
+// bounds-check-elimination diagnostics over the hot packages and holds
+// the kernels to the checked-in budget manifest (codegen.budget.json) —
+// no heap escapes, no bounds checks surviving in innermost loops, and
+// the small per-edge/per-row helpers must inline.
+//
 // Findings can be suppressed by a pragma comment on the offending line
 // or the line directly above:
 //
@@ -29,6 +36,8 @@
 //	//lint:wait-ok <reason>      (reqwait)
 //	//lint:tag-ok <reason>       (tagconst)
 //	//lint:overlap-ok <reason>   (overlapregion)
+//	//lint:escape-ok <reason>    (codegen's escape rules)
+//	//lint:bce-ok <reason>       (codegen's bounds-check rule)
 //
 // The reason is mandatory, and a pragma that suppresses nothing is
 // itself a finding, so escape hatches cannot rot silently.
@@ -96,7 +105,11 @@ func DefaultConfig() Config {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// Invariant is the one-line paper invariant the analyzer defends —
+	// the exact string the README's analyzer table carries (a test
+	// asserts the two never drift) and `fun3dlint -list` prints.
+	Invariant string
+	Run       func(*Pass)
 }
 
 // Analyzers returns the full suite in reporting order.
@@ -111,6 +124,7 @@ func Analyzers() []*Analyzer {
 		TagConst,
 		OverlapRegion,
 		CostSync,
+		Codegen,
 	}
 }
 
@@ -156,8 +170,19 @@ func (p *Pass) ReportSuppressiblef(pos token.Pos, key, format string, args ...an
 	p.report(pos, key, format, args...)
 }
 
+// ReportAtf records a finding at an explicit source position — for
+// analyzers whose evidence arrives from outside the parsed FileSet (the
+// codegen analyzer reports at compiler-diagnostic positions). key names
+// the pragma that may suppress it; empty means not suppressible.
+func (p *Pass) ReportAtf(position token.Position, key, format string, args ...any) {
+	p.record(position, key, format, args...)
+}
+
 func (p *Pass) report(pos token.Pos, key, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	p.record(p.Fset.Position(pos), key, format, args...)
+}
+
+func (p *Pass) record(position token.Position, key, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:         position,
 		File:        position.Filename,
@@ -187,6 +212,8 @@ var knownPragmaKeys = map[string]bool{
 	"wait-ok":    true,
 	"tag-ok":     true,
 	"overlap-ok": true,
+	"escape-ok":  true,
+	"bce-ok":     true,
 }
 
 func collectPragmas(fset *token.FileSet, files []*ast.File) []*pragma {

@@ -70,7 +70,7 @@ func TestLoaderGenericsAndAtomics(t *testing.T) {
 func TestAnalyzerSuite(t *testing.T) {
 	want := []string{
 		"hotalloc", "profspan", "costconst", "errcheck", "detorder",
-		"reqwait", "tagconst", "overlapregion", "costsync",
+		"reqwait", "tagconst", "overlapregion", "costsync", "codegen",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {
@@ -81,9 +81,83 @@ func TestAnalyzerSuite(t *testing.T) {
 			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
 		}
 	}
-	for _, key := range []string{"alloc-ok", "panic-ok", "wait-ok", "tag-ok", "overlap-ok"} {
+	for _, key := range []string{"alloc-ok", "panic-ok", "wait-ok", "tag-ok", "overlap-ok", "escape-ok", "bce-ok"} {
 		if !knownPragmaKeys[key] {
 			t.Errorf("pragma key %s not registered", key)
 		}
+	}
+	for _, a := range got {
+		if a.Invariant == "" {
+			t.Errorf("analyzer %s has no one-line invariant (the README table and -list source it)", a.Name)
+		}
+	}
+}
+
+// TestLoaderRangeOverIntAndAliasedGenerics pins the offline importer
+// against the go1.22 range-over-int statement and aliases of
+// instantiated generic types. These are exactly the constructs a
+// toolchain bump is most likely to move under the loader's feet; if
+// this fails after a bump, every analyzer is silently running on
+// half-checked packages.
+func TestLoaderRangeOverIntAndAliasedGenerics(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "rangegenerics"), "fixture/rangegenerics")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The alias resolved to the instantiated generic type: IntPair's
+	// underlying type is the struct of Pair[int], and methods through
+	// the alias carry int signatures.
+	obj := pkg.Types.Scope().Lookup("IntPair")
+	if obj == nil {
+		t.Fatal("IntPair not found in package scope")
+	}
+	alias, ok := obj.(*types.TypeName)
+	if !ok {
+		t.Fatalf("IntPair object %T, want *types.TypeName", obj)
+	}
+	if !alias.IsAlias() {
+		t.Fatalf("IntPair is not an alias: %v", alias)
+	}
+	named, ok := alias.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("IntPair aliases %v, want an instantiated named type", alias.Type())
+	}
+	if named.Obj().Name() != "Pair" || named.TypeArgs().Len() != 1 {
+		t.Fatalf("IntPair aliases %v, want Pair[int]", named)
+	}
+	if b, ok := named.TypeArgs().At(0).(*types.Basic); !ok || b.Kind() != types.Int {
+		t.Fatalf("IntPair type argument %v, want int", named.TypeArgs().At(0))
+	}
+
+	// The range-over-int loops type-checked: Iota's loop variable is a
+	// plain int, visible in the info maps.
+	iota := pkg.Types.Scope().Lookup("Iota")
+	if iota == nil {
+		t.Fatal("Iota not found in package scope")
+	}
+	foundIntLoopVar := false
+	for ident, obj := range pkg.Info.Defs {
+		if ident.Name == "i" && obj != nil {
+			if b, ok := obj.Type().(*types.Basic); ok && b.Kind() == types.Int {
+				foundIntLoopVar = true
+			}
+		}
+	}
+	if !foundIntLoopVar {
+		t.Error("no int-typed range-over-int loop variable in the info maps")
+	}
+
+	// The full suite runs clean over the fixture.
+	if findings := Run(l.Fset, pkg, Config{HotPackages: []string{"fixture/rangegenerics"}}, Analyzers()); len(findings) > 0 {
+		t.Errorf("suite reported findings on the rangegenerics fixture:\n%v", findings)
 	}
 }

@@ -33,9 +33,10 @@ const distPath = "petscfun3d/internal/dist"
 // idiom) opens a window to the end of the body. Deliberate exceptions
 // carry //lint:overlap-ok <reason>.
 var OverlapRegion = &Analyzer{
-	Name: "overlapregion",
-	Doc:  "no blocking ops or posted-buffer writes inside nonblocking overlap windows",
-	Run:  runOverlapRegion,
+	Name:      "overlapregion",
+	Doc:       "no blocking ops or posted-buffer writes inside nonblocking overlap windows",
+	Invariant: "The overlap window actually overlaps (Table 3): nothing blocking, and no posted-buffer writes, between posting an exchange and waiting on it.",
+	Run:       runOverlapRegion,
 }
 
 // window is one open nonblocking region within a function body.

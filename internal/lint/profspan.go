@@ -17,9 +17,10 @@ const profPath = "petscfun3d/internal/prof"
 // the internal/machine cost model. Because phases can only be named by
 // those constants, the modeled-vs-measured tables cannot drift.
 var ProfSpan = &Analyzer{
-	Name: "profspan",
-	Doc:  "prof spans close on all paths and use canonical phase constants",
-	Run:  runProfSpan,
+	Name:      "profspan",
+	Doc:       "prof spans close on all paths and use canonical phase constants",
+	Invariant: "The phase decomposition is a partition: every `prof.Begin` reaches `End` on all paths and names a canonical phase, so self/cumulative times add up.",
+	Run:       runProfSpan,
 }
 
 func runProfSpan(pass *Pass) {

@@ -32,9 +32,10 @@ const mpiPath = "petscfun3d/internal/mpi"
 //
 // Deliberate fire-and-forget posts carry //lint:wait-ok <reason>.
 var ReqWait = &Analyzer{
-	Name: "reqwait",
-	Doc:  "every mpi.ISend/IRecv Request reaches a Wait on all paths",
-	Run:  runReqWait,
+	Name:      "reqwait",
+	Doc:       "every mpi.ISend/IRecv Request reaches a Wait on all paths",
+	Invariant: "The message-passing protocol completes: every `ISend`/`IRecv` request reaches a `Wait` on all control-flow paths.",
+	Run:       runReqWait,
 }
 
 // isPostCall reports whether call posts a nonblocking operation.

@@ -1,8 +1,12 @@
 package lint
 
 import (
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	"petscfun3d/internal/codegen"
 )
 
 // TestRepositoryLintsClean is the acceptance gate: the full suite over
@@ -27,5 +31,48 @@ func TestRepositoryLintsClean(t *testing.T) {
 			sb.WriteString("\n")
 		}
 		t.Fatalf("repository does not lint clean (%d findings):\n%s", len(findings), sb.String())
+	}
+}
+
+// TestRepositoryCodegenClean is the codegen-conformance acceptance
+// gate, the explicit companion to TestRepositoryLintsClean: the budget
+// manifest at the module root must parse, pin the running toolchain,
+// and cover every costsync-registered hot package, and `fun3dlint -only
+// codegen ./...` must report nothing — the swept kernels compile with
+// no heap escapes, no surviving innermost-loop bounds checks, and every
+// must-inline helper inlining.
+func TestRepositoryCodegenClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := codegen.LoadBudget(filepath.Join(root, codegen.BudgetFile))
+	if err != nil {
+		t.Fatalf("budget manifest: %v", err)
+	}
+	if budget.GoVersion != runtime.Version() {
+		t.Fatalf("budget pins toolchain %s but this is %s; review `fun3dlint -only codegen` and re-record with `fun3dlint -update-budget`",
+			budget.GoVersion, runtime.Version())
+	}
+	for _, c := range costChecks {
+		if !strings.HasPrefix(c.pkg, "petscfun3d/") {
+			continue
+		}
+		if _, ok := budget.Packages[c.pkg]; !ok {
+			t.Errorf("costsync registry pins %s in %s, but the codegen budget does not cover that package", c.kernel, c.pkg)
+		}
+	}
+	findings, err := RunPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad []string
+	for _, f := range findings {
+		if f.Analyzer == "codegen" {
+			bad = append(bad, "  "+f.String())
+		}
+	}
+	if len(bad) > 0 {
+		t.Fatalf("codegen conformance findings (%d):\n%s", len(bad), strings.Join(bad, "\n"))
 	}
 }

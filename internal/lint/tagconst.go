@@ -31,9 +31,10 @@ import (
 //
 // Deliberate exceptions carry //lint:tag-ok <reason>.
 var TagConst = &Analyzer{
-	Name: "tagconst",
-	Doc:  "message tags come from the mpi tag registry and are used symmetrically",
-	Run:  runTagConst,
+	Name:      "tagconst",
+	Doc:       "message tags come from the mpi tag registry and are used symmetrically",
+	Invariant: "Message matching is by design, not accident: tags come from the `internal/mpi/tags.go` registry and each is used by both send and receive sites.",
+	Run:       runTagConst,
 }
 
 // isTagType reports whether t is (or points to) mpi.Tag.

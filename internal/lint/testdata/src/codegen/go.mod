@@ -1,0 +1,3 @@
+module fixture/codegen
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package rangegenerics exercises the loader against the post-go1.21
+// language surface the repo is allowed to adopt: go1.22 range-over-int
+// loops and aliases of instantiated generic types. A toolchain bump
+// that broke the offline source importer on either would take all the
+// analyzers down with it; the loader test pins that it keeps working.
+package rangegenerics
+
+// Pair is a generic type with methods, instantiated through an alias.
+type Pair[T any] struct {
+	a, b T
+}
+
+// First returns the first element.
+func (p Pair[T]) First() T { return p.a }
+
+// Second returns the second element.
+func (p Pair[T]) Second() T { return p.b }
+
+// IntPair aliases the int instantiation: the importer must resolve the
+// alias to the same instantiated named type everywhere it appears.
+type IntPair = Pair[int]
+
+// FloatPair aliases the float64 instantiation.
+type FloatPair = Pair[float64]
+
+// Iota builds n pairs with a go1.22 range-over-int loop (the loop
+// variable ranges over 0..n-1 with no slice in sight).
+func Iota(n int) []IntPair {
+	out := make([]IntPair, n)
+	for i := range n {
+		out[i] = IntPair{a: i, b: i * i}
+	}
+	return out
+}
+
+// SumFirsts reduces through the alias; the loop is another
+// range-over-int so the type checker sees both forms in one package.
+func SumFirsts(ps []IntPair) int {
+	var s int
+	for i := range len(ps) {
+		s += ps[i].First()
+	}
+	return s
+}
+
+// Swap is a generic function returning the aliased type, so the
+// instantiation flows through a type argument inferred at an aliased
+// call site.
+func Swap[T any](p Pair[T]) Pair[T] {
+	return Pair[T]{a: p.b, b: p.a}
+}
+
+// swapped forces an instantiation of Swap at the alias type.
+var swapped = Swap(FloatPair{a: 1.5, b: 2.5})

@@ -82,11 +82,12 @@ func (a *BCSR) MulVec(x, y []float64) {
 
 func (a *BCSR) mulVec4(x, y []float64) {
 	for i := 0; i < a.NB; i++ {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3 float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			j := int(a.ColIdx[k]) * 4
-			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
-			v := a.Val[k*16 : k*16+16 : k*16+16]
+		for k := start; k < end; k++ {
+			j := int(a.ColIdx[k]) * 4                      //lint:bce-ok k is bounded by RowPtr contents, a relation no slice length expresses
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3] //lint:bce-ok gather through the block column index is data-dependent
+			v := a.Val[k*16 : k*16+16 : k*16+16]           //lint:bce-ok block offset is data-dependent through RowPtr; the constant-length slice erases the 16 per-element checks below
 			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3
 			s1 += v[4]*x0 + v[5]*x1 + v[6]*x2 + v[7]*x3
 			s2 += v[8]*x0 + v[9]*x1 + v[10]*x2 + v[11]*x3
@@ -99,11 +100,12 @@ func (a *BCSR) mulVec4(x, y []float64) {
 
 func (a *BCSR) mulVec5(x, y []float64) {
 	for i := 0; i < a.NB; i++ {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3, s4 float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			j := int(a.ColIdx[k]) * 5
-			x0, x1, x2, x3, x4 := x[j], x[j+1], x[j+2], x[j+3], x[j+4]
-			v := a.Val[k*25 : k*25+25 : k*25+25]
+		for k := start; k < end; k++ {
+			j := int(a.ColIdx[k]) * 5                                  //lint:bce-ok k is bounded by RowPtr contents, a relation no slice length expresses
+			x0, x1, x2, x3, x4 := x[j], x[j+1], x[j+2], x[j+3], x[j+4] //lint:bce-ok gather through the block column index is data-dependent
+			v := a.Val[k*25 : k*25+25 : k*25+25]                       //lint:bce-ok block offset is data-dependent through RowPtr; the constant-length slice erases the 25 per-element checks below
 			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3 + v[4]*x4
 			s1 += v[5]*x0 + v[6]*x1 + v[7]*x2 + v[8]*x3 + v[9]*x4
 			s2 += v[10]*x0 + v[11]*x1 + v[12]*x2 + v[13]*x3 + v[14]*x4
@@ -138,11 +140,12 @@ func (a *BCSR) MulVecRows(rows []int32, x, y []float64) {
 
 func (a *BCSR) mulVecRows4(rows []int32, x, y []float64) {
 	for _, i := range rows {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3 float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			j := int(a.ColIdx[k]) * 4
-			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
-			v := a.Val[k*16 : k*16+16 : k*16+16]
+		for k := start; k < end; k++ {
+			j := int(a.ColIdx[k]) * 4                      //lint:bce-ok k is bounded by RowPtr contents, a relation no slice length expresses
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3] //lint:bce-ok gather through the block column index is data-dependent
+			v := a.Val[k*16 : k*16+16 : k*16+16]           //lint:bce-ok block offset is data-dependent through RowPtr; the constant-length slice erases the 16 per-element checks below
 			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3
 			s1 += v[4]*x0 + v[5]*x1 + v[6]*x2 + v[7]*x3
 			s2 += v[8]*x0 + v[9]*x1 + v[10]*x2 + v[11]*x3
@@ -155,11 +158,12 @@ func (a *BCSR) mulVecRows4(rows []int32, x, y []float64) {
 
 func (a *BCSR) mulVecRows5(rows []int32, x, y []float64) {
 	for _, i := range rows {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3, s4 float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			j := int(a.ColIdx[k]) * 5
-			x0, x1, x2, x3, x4 := x[j], x[j+1], x[j+2], x[j+3], x[j+4]
-			v := a.Val[k*25 : k*25+25 : k*25+25]
+		for k := start; k < end; k++ {
+			j := int(a.ColIdx[k]) * 5                                  //lint:bce-ok k is bounded by RowPtr contents, a relation no slice length expresses
+			x0, x1, x2, x3, x4 := x[j], x[j+1], x[j+2], x[j+3], x[j+4] //lint:bce-ok gather through the block column index is data-dependent
+			v := a.Val[k*25 : k*25+25 : k*25+25]                       //lint:bce-ok block offset is data-dependent through RowPtr; the constant-length slice erases the 25 per-element checks below
 			s0 += v[0]*x0 + v[1]*x1 + v[2]*x2 + v[3]*x3 + v[4]*x4
 			s1 += v[5]*x0 + v[6]*x1 + v[7]*x2 + v[8]*x3 + v[9]*x4
 			s2 += v[10]*x0 + v[11]*x1 + v[12]*x2 + v[13]*x3 + v[14]*x4
@@ -179,13 +183,17 @@ func (a *BCSR) mulVecRowsGeneric(rows []int32, x, y []float64) {
 		for c := range ys {
 			ys[c] = 0
 		}
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1])
+		for k := start; k < end; k++ {
 			j := int(a.ColIdx[k]) * b
-			blk := a.Val[int(k)*bb : int(k+1)*bb]
+			blk := a.Val[k*bb : k*bb+bb]
+			xs := x[j : j+b]
 			for r := 0; r < b; r++ {
+				row := blk[r*b:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var sum float64
-				for c := 0; c < b; c++ {
-					sum += blk[r*b+c] * x[j+c]
+				for c, w := range row {
+					sum += w * xs[c]
 				}
 				ys[r] += sum
 			}
@@ -217,13 +225,17 @@ func (a *BCSR) mulVecGeneric(x, y []float64) {
 		for c := range ys {
 			ys[c] = 0
 		}
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1])
+		for k := start; k < end; k++ {
 			j := int(a.ColIdx[k]) * b
-			blk := a.Val[int(k)*bb : int(k+1)*bb]
+			blk := a.Val[k*bb : k*bb+bb]
+			xs := x[j : j+b]
 			for r := 0; r < b; r++ {
+				row := blk[r*b:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var sum float64
-				for c := 0; c < b; c++ {
-					sum += blk[r*b+c] * x[j+c]
+				for c, w := range row {
+					sum += w * xs[c]
 				}
 				ys[r] += sum
 			}
@@ -317,13 +329,17 @@ func (a *BCSR32) MulVec(x, y []float64) {
 		for c := range ys {
 			ys[c] = 0
 		}
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1])
+		for k := start; k < end; k++ {
 			j := int(a.ColIdx[k]) * b
-			blk := a.Val[int(k)*bb : int(k+1)*bb]
+			blk := a.Val[k*bb : k*bb+bb]
+			xs := x[j : j+b]
 			for r := 0; r < b; r++ {
+				row := blk[r*b:]
+				row = row[:len(xs)] // bce: ties len(row) to len(xs); the c index needs one range check, not two
 				var sum float64
-				for c := 0; c < b; c++ {
-					sum += float64(blk[r*b+c]) * x[j+c]
+				for c, w := range row {
+					sum += float64(w) * xs[c]
 				}
 				ys[r] += sum
 			}

@@ -49,9 +49,13 @@ func (a *CSR) MulVec(x, y []float64) {
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: N=%d len(x)=%d len(y)=%d", a.N, len(x), len(y)))
 	}
 	for i := 0; i < a.N; i++ {
+		start, end := a.RowPtr[i], a.RowPtr[i+1]
+		vals := a.Val[start:end]
+		cols := a.ColIdx[start:end]
+		cols = cols[:len(vals)] // bce: ties len(cols) to len(vals); one range check serves both row slices
 		var sum float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			sum += a.Val[k] * x[a.ColIdx[k]]
+		for k, v := range vals {
+			sum += v * x[cols[k]] //lint:bce-ok gather through the column index is data-dependent; no slice-length relation is provable
 		}
 		y[i] = sum
 	}
@@ -115,9 +119,13 @@ func (a *CSR) ToFloat32() *CSR32 {
 // MulVec computes y = A x, promoting each stored value to float64.
 func (a *CSR32) MulVec(x, y []float64) {
 	for i := 0; i < a.N; i++ {
+		start, end := a.RowPtr[i], a.RowPtr[i+1]
+		vals := a.Val[start:end]
+		cols := a.ColIdx[start:end]
+		cols = cols[:len(vals)] // bce: ties len(cols) to len(vals); one range check serves both row slices
 		var sum float64
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			sum += float64(a.Val[k]) * x[a.ColIdx[k]]
+		for k, v := range vals {
+			sum += float64(v) * x[cols[k]] //lint:bce-ok gather through the column index is data-dependent; no slice-length relation is provable
 		}
 		y[i] = sum
 	}

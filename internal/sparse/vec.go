@@ -6,6 +6,7 @@ import "math"
 
 // Dot returns the inner product of x and y.
 func Dot(x, y []float64) float64 {
+	y = y[:len(x)] // bce: ties len(y) to len(x); the range index serves both streams unchecked
 	var s float64
 	for i, v := range x {
 		s += v * y[i]
@@ -18,6 +19,7 @@ func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
 // Axpy computes y += a*x.
 func Axpy(a float64, x, y []float64) {
+	y = y[:len(x)] // bce: ties len(y) to len(x); the range index serves both streams unchecked
 	for i, v := range x {
 		y[i] += a * v
 	}
@@ -32,6 +34,8 @@ func Scale(a float64, x []float64) {
 
 // Waxpy computes w = y + a*x.
 func Waxpy(a float64, x, y, w []float64) {
+	x = x[:len(w)] // bce: ties len(x) and len(y) to len(w); the range index serves all three streams unchecked
+	y = y[:len(w)]
 	for i := range w {
 		w[i] = y[i] + a*x[i]
 	}
