@@ -5,7 +5,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './related/*')
 
-.PHONY: verify fmt vet lint test race bench chaos
+.PHONY: verify fmt vet lint test race bench chaos threads
 
 verify: fmt vet lint race
 
@@ -37,3 +37,14 @@ bench:
 chaos:
 	FUN3D_CHAOS_SEEDS=1,2,3 go test -race -count=1 ./internal/faults ./internal/mpi ./internal/dist
 	go run ./cmd/benchtables -experiment chaos -size small | tee BENCH_chaos.txt
+
+# Threads gate: the node-level worker-pool determinism grid — the pool
+# primitives' own suite, then the bitwise tri-solve/SpMV/reduction grids
+# and the hybrid ranks×threads soak — under the race detector, followed
+# by the measured thread-scaling sweep and the gather-corrected Table 5
+# model, teed into the BENCH_threads.txt record.
+threads:
+	go test -race -count=1 ./internal/par
+	go test -race -count=1 -run 'Par|Thread|Bitwise|Level|Determin' ./internal/sparse ./internal/ilu ./internal/euler ./internal/krylov ./internal/dist
+	go run ./cmd/benchtables -experiment threads -size medium | tee BENCH_threads.txt
+	go run ./cmd/benchtables -experiment table5 -size small | tee -a BENCH_threads.txt

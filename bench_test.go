@@ -59,6 +59,22 @@ func TestPhaseProfileBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof.Default.Merge(dres.Prof)
+
+	// Fold a threaded solve in (assembled operator so the matvec phase
+	// runs the striped SpMV) so the baseline records the node-level
+	// worker attribution on the pooled phases: tri_solve, matvec, and
+	// the Krylov reductions all carry threads=2, bitwise identical to
+	// the sequential run by the pool's determinism contract.
+	prof.Default.Enable()
+	tcfg := DefaultConfig()
+	tcfg.TargetVertices = 3000
+	tcfg.Newton.MaxSteps = 30
+	tcfg.Newton.AssembledOperator = true
+	tcfg.Threads = 2
+	if _, err := Solve(tcfg); err != nil {
+		t.Fatal(err)
+	}
+	prof.Default.Disable()
 	f, err := os.Create("BENCH_phases.json")
 	if err != nil {
 		t.Fatal(err)

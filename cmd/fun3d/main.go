@@ -47,6 +47,7 @@ func main() {
 	overlap := flag.Int("overlap", 0, "Schwarz subdomain overlap")
 	single := flag.Bool("single-precision-pc", false, "store preconditioner factors in float32")
 	ranks := flag.Int("ranks", 1, "virtual ranks (1 = sequential with real wall time)")
+	threads := flag.Int("threads", 1, "node-level worker threads for the threaded kernels (flux, tri-solve, SpMV, reductions)")
 	partitioner := flag.String("partitioner", "kway", "kway|pway")
 	profile := flag.String("profile", "ASCI Red", "machine profile for parallel cost model")
 	edgeOrdering := flag.String("edge-ordering", "sorted", "sorted|colored flux loop order")
@@ -76,6 +77,7 @@ func main() {
 	cfg.Overlap = *overlap
 	cfg.SinglePrecision = *single
 	cfg.Ranks = *ranks
+	cfg.Threads = *threads
 	cfg.Partitioner = *partitioner
 	cfg.EdgeOrdering = *edgeOrdering
 	cfg.RCM = *rcm

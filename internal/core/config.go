@@ -14,6 +14,7 @@ import (
 	"petscfun3d/internal/krylov"
 	"petscfun3d/internal/mesh"
 	"petscfun3d/internal/newton"
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/partition"
 	"petscfun3d/internal/perfmodel"
 	"petscfun3d/internal/schwarz"
@@ -63,6 +64,12 @@ type Config struct {
 	Ranks       int
 	Partitioner string
 	Profile     perfmodel.Profile
+
+	// Threads is the node-level worker count for the threaded kernels
+	// (flux sweeps, triangular solves, SpMV, Krylov reductions). 0 or 1
+	// runs everything sequentially. The threaded kernels are bitwise
+	// identical to sequential at every thread count.
+	Threads int
 }
 
 // DefaultConfig returns a small incompressible problem on one rank.
@@ -77,6 +84,7 @@ func DefaultConfig() Config {
 		Overlap:        0,
 		FillLevel:      0,
 		Ranks:          1,
+		Threads:        1,
 		Partitioner:    "kway",
 		Profile:        perfmodel.ASCIRed,
 	}
@@ -104,6 +112,9 @@ func (cfg Config) Validate() error {
 	if cfg.Ranks < 1 {
 		return fmt.Errorf("core: nonpositive Ranks %d", cfg.Ranks)
 	}
+	if cfg.Threads < 0 {
+		return fmt.Errorf("core: negative Threads %d", cfg.Threads)
+	}
 	if cfg.MeshFile == "" && cfg.NX <= 0 && cfg.TargetVertices <= 0 {
 		return fmt.Errorf("core: nonpositive TargetVertices %d with no MeshFile or lattice dimensions", cfg.TargetVertices)
 	}
@@ -123,7 +134,13 @@ type Problem struct {
 	Disc2 *euler.Discretization // second-order (when continuation is on)
 	Part  *partition.Partition
 	Halos []partition.Halo
+	// Pool is the node-level worker pool (nil when Cfg.Threads <= 1);
+	// Close releases it.
+	Pool *par.Pool
 }
+
+// Close releases the problem's worker pool (safe on nil pools).
+func (p *Problem) Close() { p.Pool.Close() }
 
 // Build assembles a problem.
 func Build(cfg Config) (*Problem, error) {
@@ -163,6 +180,9 @@ func Build(cfg Config) (*Problem, error) {
 		return nil, fmt.Errorf("core: unknown system %q", cfg.System)
 	}
 	p := &Problem{Cfg: cfg, Mesh: m, Sys: sys}
+	if cfg.Threads > 1 {
+		p.Pool = par.New(cfg.Threads)
+	}
 	p.Graph = sparse.Graph{NV: m.NumVertices(), XAdj: m.XAdj, Adj: m.Adj}
 
 	order := cfg.Order
@@ -217,6 +237,7 @@ func (p *Problem) PCFactory(last **schwarz.Preconditioner) newton.PCFactory {
 		pc, err := schwarz.New(a, p.Part.Part, p.Part.NParts, schwarz.Options{
 			Overlap: p.Cfg.Overlap,
 			ILU:     ilu.Options{Level: p.Cfg.FillLevel, SinglePrecision: p.Cfg.SinglePrecision},
+			Pool:    p.Pool,
 		})
 		if err != nil {
 			return nil, err

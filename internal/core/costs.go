@@ -46,3 +46,9 @@ func iluFactorFlops(nnzb, b int) int64 { return ilu.FactorFlopsFor(nnzb, b) }
 
 // iluFactorBytes is ilu.FactorBytesFor: factorization memory traffic.
 func iluFactorBytes(nnzb, b, valBytes int) int64 { return ilu.FactorBytesFor(nnzb, b, valBytes) }
+
+// privateGatherBytes is euler.PrivateGatherBytes: traffic of summing the
+// extra threads' private residual copies into the shared residual (a
+// read-modify-write of the shared array plus a streaming read of each
+// private copy — 24 bytes per entry per extra thread, not 16).
+func privateGatherBytes(extra, n int64) int64 { return euler.PrivateGatherBytes(extra, n) }

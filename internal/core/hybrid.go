@@ -53,10 +53,13 @@ func FluxPhaseTime(cfg Config, nodes, procsPerNode, threads, evals int) (float64
 				fluxTrafficBytes(loads.localN[r]/b, b, loads.edges[r]),
 				rate)
 			if threads > 1 {
-				// Gather of the private residual copies: one read+add
-				// sweep over the local residual per extra thread,
-				// bandwidth-bound on the node's shared memory bus.
-				gatherBytes := float64(loads.localN[r]) * 8 * 2 * float64(threads-1)
+				// Gather of the private residual copies: a read-modify-write
+				// sweep of the shared residual plus a streaming read of each
+				// private copy per extra thread, bandwidth-bound on the
+				// node's shared memory bus. Charged through the same formula
+				// the measured kernel (euler.ResidualParallel) reports, so
+				// model and profiler agree on the 24 bytes per entry.
+				gatherBytes := float64(privateGatherBytes(int64(threads-1), int64(loads.localN[r])))
 				mach.ComputeTimeDirect(r, gatherBytes/cfg.Profile.NodeStreamBW, 0)
 			}
 		}

@@ -89,6 +89,7 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.Close()
 	loads := buildLoads(p)
 	mach, err := machine.New(cfg.Ranks, cfg.Profile)
 	if err != nil {
@@ -192,11 +193,13 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 		},
 	}
 
+	nopts := cfg.Newton
+	nopts.Krylov.Pool = p.Pool
 	s := &newton.Solver{
 		Disc:  p.Disc,
 		Disc2: p.Disc2,
 		PC:    p.PCFactory(&lastPC),
-		Opts:  cfg.Newton,
+		Opts:  nopts,
 		Hooks: hooks,
 	}
 	q := p.Disc.FreestreamVector()

@@ -25,12 +25,15 @@ func RunSequential(cfg Config) (*SequentialResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.Close()
 	var lastPC *schwarz.Preconditioner
+	nopts := cfg.Newton
+	nopts.Krylov.Pool = p.Pool
 	s := &newton.Solver{
 		Disc:  p.Disc,
 		Disc2: p.Disc2,
 		PC:    p.PCFactory(&lastPC),
-		Opts:  cfg.Newton,
+		Opts:  nopts,
 	}
 	q := p.Disc.FreestreamVector()
 	start := time.Now()

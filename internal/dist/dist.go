@@ -15,6 +15,7 @@ import (
 
 	"petscfun3d/internal/ilu"
 	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
@@ -59,6 +60,13 @@ type Matrix struct {
 
 	// Diagonal block (owned x owned) for the block Jacobi factorization.
 	diag *sparse.BCSR
+
+	// Node-level worker pool (SetPool) with precomputed
+	// nonzero-balanced stripe bounds for the interior/boundary row sets
+	// and the reusable SpMV task.
+	pool                 *par.Pool
+	intBounds, bndBounds []int32
+	rowsT                rowsTask
 
 	// Prof, when non-nil, receives this rank's measured phase timings
 	// (scatter, matvec, reduce, tri_solve). Each rank runs on its own
@@ -243,14 +251,15 @@ func (m *Matrix) MulVec(x, y []float64) error {
 	if err := m.halo.Start(m.Prof, ext); err != nil {
 		return err
 	}
+	m.Prof.NoteThreads(prof.PhaseMatVec, m.pool.Workers())
 	isp := m.Prof.Begin(prof.PhaseInterior)
-	m.local.MulVecRows(m.interior, ext, y)
+	m.mulRows(m.interior, m.intBounds, ext, y)
 	isp.End(sparse.MulVecRowsFlops(m.innerNNZB, m.B), sparse.MulVecRowsBytes(m.innerNNZB, len(m.interior), m.B))
 	if err := m.halo.Finish(m.Prof, ext); err != nil {
 		return err
 	}
 	bsp := m.Prof.Begin(prof.PhaseBoundary)
-	m.local.MulVecRows(m.boundary, ext, y)
+	m.mulRows(m.boundary, m.bndBounds, ext, y)
 	bsp.End(sparse.MulVecRowsFlops(m.bndNNZB, m.B), sparse.MulVecRowsBytes(m.bndNNZB, len(m.boundary), m.B))
 	return nil
 }
@@ -275,14 +284,11 @@ func (m *Matrix) mulVecBlocking(x, y []float64) error {
 func (m *Matrix) Dot(x, y []float64) float64 {
 	n := m.LocalN()
 	sp := m.Prof.Begin(prof.PhaseReduce)
+	m.Prof.NoteThreads(prof.PhaseReduce, m.pool.Workers())
 	defer sp.End(dotFlops(n), dotBytes(n))
-	xs := x[:n]
-	ys := y[:n]
-	ys = ys[:len(xs)] // bce: ties len(ys) to len(xs); the range index serves both streams unchecked
-	var s float64
-	for i := range xs {
-		s += xs[i] * ys[i]
-	}
+	// The fixed-shape segmented local product is bitwise identical at
+	// every worker count, so the global sum is too.
+	s := par.Dot(m.pool, x[:n], y[:n])
 	return m.Comm.AllReduceSum(s)
 }
 
@@ -298,7 +304,8 @@ func (m *Matrix) BlockJacobi(opts ilu.Options) (func(r, z []float64), error) {
 	}
 	return func(r, z []float64) {
 		sp := m.Prof.Begin(prof.PhaseTriSolve)
-		f.Solve(r, z)
+		m.Prof.NoteThreads(prof.PhaseTriSolve, m.pool.Workers())
+		f.SolvePar(m.pool, r, z)
 		sp.End(f.SolveFlops(), f.SolveBytes())
 	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"petscfun3d/internal/ilu"
 	"petscfun3d/internal/mpi"
 	"petscfun3d/internal/newton"
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
@@ -30,6 +31,11 @@ type NewtonOptions struct {
 	// block Jacobi subdomain factorization.
 	Krylov GMRESOptions
 	ILU    ilu.Options
+	// Threads is the node-level worker count per rank (hybrid
+	// ranks×threads). Every threaded kernel is bitwise identical to
+	// sequential, so the residual history does not depend on it. 0 or 1
+	// runs each rank sequentially.
+	Threads int
 	// LineSearch enables backtracking on residual increase (the λ
 	// decisions reduce globally, so every rank halves together).
 	LineSearch bool
@@ -127,6 +133,13 @@ func NewtonSolve(c *mpi.Comm, d *euler.Discretization, part []int32, q []float64
 	}
 	nsp := p.Begin(prof.PhaseNewton)
 	defer nsp.End(0, 0)
+	// Per-rank worker pool: each rank goroutine owns its own pool for
+	// the hybrid ranks×threads mode, released when the solve returns.
+	var pool *par.Pool
+	if opts.Threads > 1 {
+		pool = par.New(opts.Threads)
+		defer pool.Close()
+	}
 	res := &NewtonResult{}
 	var rsd *Residual
 	if err := c.Protect(func() error {
@@ -172,7 +185,7 @@ func NewtonSolve(c *mpi.Comm, d *euler.Discretization, part []int32, q []float64
 		for {
 			attempts++
 			err := c.Protect(func() error { //lint:alloc-ok one closure per step attempt; the hot path is the GMRES inside
-				return newtonStep(c, rsd, d, part, q, r, rnorm, cfl, opts, p,
+				return newtonStep(c, rsd, d, part, q, r, rnorm, cfl, opts, p, pool,
 					jac, qTrial, rTrial, dq, step, attempts-1, &st, &newNorm)
 			})
 			if err == nil {
@@ -212,7 +225,7 @@ func NewtonSolve(c *mpi.Comm, d *euler.Discretization, part []int32, q []float64
 // on error the caller's q and r are untouched, so the attempt can be
 // retried or the solve aborted with a consistent partial result.
 func newtonStep(c *mpi.Comm, rsd *Residual, d *euler.Discretization, part []int32,
-	q, r []float64, rnorm, cfl float64, opts NewtonOptions, p *prof.Profiler,
+	q, r []float64, rnorm, cfl float64, opts NewtonOptions, p *prof.Profiler, pool *par.Pool,
 	jac *sparse.BCSR, qTrial, rTrial, dq []float64, step, attempt int,
 	st *GMRESStats, newNorm *float64) error {
 	if opts.BeforeStep != nil {
@@ -240,6 +253,7 @@ func newtonStep(c *mpi.Comm, rsd *Residual, d *euler.Discretization, part []int3
 		return err
 	}
 	am.Prof = p
+	am.SetPool(pool)
 	psp := p.Begin(prof.PhasePCSetup)
 	pcSolve, err := am.BlockJacobi(opts.ILU)
 	psp.End(0, 0)

@@ -40,6 +40,17 @@ func EdgeSubsetBytes(nEdges, b int) int64 {
 	return int64(nEdges) * int64(8*(2*b+2*2*b)+24)
 }
 
+// PrivateGatherFlops is the floating-point work of summing the extra
+// redundant private residual arrays of a threaded sweep into the shared
+// residual: one add per entry per extra worker.
+func PrivateGatherFlops(extra, n int64) int64 { return extra * n }
+
+// PrivateGatherBytes is the memory traffic of the same gather: per
+// entry, a read-modify-write of the shared residual (8 bytes in, 8
+// bytes out) plus a streaming read of the private copy (8 bytes) — 24
+// bytes per entry per extra worker.
+func PrivateGatherBytes(extra, n int64) int64 { return 24 * extra * n }
+
 // JacobianAssemblyFlops estimates per-edge work of the analytical
 // first-order Jacobian: two b×b physical Jacobians plus block
 // accumulation.

@@ -66,6 +66,12 @@ type Discretization struct {
 	// Private residual scratch for ResidualParallel, one per extra
 	// thread, grown lazily to the largest thread count seen.
 	privRes [][]float64
+	// Reusable worker-pool task of ResidualParallel; field re-pointing
+	// keeps the threaded sweep allocation-free in steady state.
+	fluxT fluxTask
+	// Cached freestream state for the boundary sweep (System.Freestream
+	// allocates a fresh vector per call).
+	infState []float64
 	// Flux-sweep scratch states, pooled so concurrent sweeps (the
 	// distributed ranks share one Discretization) each borrow their own.
 	wsPool sync.Pool
@@ -250,7 +256,10 @@ func (d *Discretization) Residual(q, r []float64) {
 // boundaryResidual adds the boundary closure fluxes.
 func (d *Discretization) boundaryResidual(q, r []float64) {
 	b := d.Sys.B()
-	inf := d.Sys.Freestream()
+	if d.infState == nil {
+		d.infState = d.Sys.Freestream()
+	}
+	inf := d.infState // cached: Freestream allocates its state vector on every call
 	ws := d.getWS()
 	qi, flux, scratch := ws.qa[:b], ws.flux[:b], ws.scratch[:b]
 	bk := d.M.BKind

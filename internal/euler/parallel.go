@@ -2,106 +2,108 @@ package euler
 
 import (
 	"fmt"
-	"sync"
 
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
 )
 
-// ResidualParallel evaluates the residual with nthreads goroutines
-// splitting the edge loop — the shared-memory instruction-level
-// parallelism the paper studies for the flux phase (Table 5). Because
-// two threads may touch the same vertex's residual, each thread
-// accumulates into a private copy of the residual vector and the copies
-// are summed afterwards — precisely the "redundant work arrays ...
-// required by the lack of a vector-reduce in OpenMP (version 1)" whose
-// gather cost the paper discusses. Boundary fluxes are applied by the
-// calling goroutine.
+// ResidualParallel evaluates the residual with the pool's workers
+// splitting the edge loop — the shared-memory parallelism the paper
+// studies for the flux phase (Table 5). Because two workers may touch
+// the same vertex's residual, each worker accumulates into a private
+// copy of the residual vector and the copies are summed afterwards —
+// precisely the "redundant work arrays ... required by the lack of a
+// vector-reduce in OpenMP (version 1)" whose gather cost the paper
+// discusses. Boundary fluxes are applied by the calling goroutine.
 //
 // The private arrays are scratch buffers kept on the Discretization and
-// sized lazily to the largest thread count seen, so repeated calls on
+// sized lazily to the largest worker count seen, so repeated calls on
 // the Table 5 hot path do not re-allocate O(n·threads) memory; as a
 // consequence, concurrent ResidualParallel calls on the same
 // Discretization are not allowed (concurrent calls on distinct
-// Discretizations are fine).
+// Discretizations are fine). A nil pool runs the whole sweep inline.
 //
 // First-order fluxes only (the paper threads only the flux phase).
-func (d *Discretization) ResidualParallel(q, r []float64, nthreads int) error {
+func (d *Discretization) ResidualParallel(q, r []float64, p *par.Pool) error {
 	if d.Opts.Order != 1 {
 		return fmt.Errorf("euler: ResidualParallel supports first-order fluxes only")
 	}
-	if nthreads < 1 {
-		return fmt.Errorf("euler: nthreads %d < 1", nthreads)
-	}
+	nw := p.Workers()
 	sp := prof.Begin(prof.PhaseFlux)
+	prof.NoteThreads(prof.PhaseFlux, nw)
 	n := d.N()
 	for i := range r[:n] {
 		r[i] = 0
 	}
-	b := d.Sys.B()
-	chunk := (len(d.edges) + nthreads - 1) / nthreads
-	// Threads whose edge range is empty (chunk*t >= len(edges)) are
-	// skipped entirely: they get no goroutine, no scratch buffer, and no
-	// term in the gather below.
-	active := nthreads
-	if chunk > 0 {
-		if a := (len(d.edges) + chunk - 1) / chunk; a < active {
-			active = a
-		}
-	} else {
-		active = 0
-	}
-	// Private residual arrays (the redundant work arrays) for threads
-	// 1..active-1; thread 0 accumulates directly into r. Reused across
+	// Private residual arrays (the redundant work arrays) for workers
+	// 1..nw-1; worker 0 accumulates directly into r. Reused across
 	// calls, grown lazily; each worker zeroes its own buffer so the
 	// clearing cost is parallelized along with the flux work.
-	for len(d.privRes) < active-1 {
+	for len(d.privRes) < nw-1 {
 		d.privRes = append(d.privRes, make([]float64, n)) //lint:alloc-ok grown once to the worker count, then reused across residual sweeps
 	}
-	var wg sync.WaitGroup
-	for t := 0; t < active; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > len(d.edges) {
-			hi = len(d.edges)
-		}
-		rr := r[:n]
-		if t > 0 {
-			rr = d.privRes[t-1][:n]
-		}
-		wg.Add(1)
-		go func(t, lo, hi int, rr []float64) { //lint:alloc-ok worker fork: a handful of closures per sweep, amortized over the whole edge range
-			defer wg.Done()
-			if t > 0 {
-				for i := range rr {
-					rr[i] = 0
-				}
-			}
-			var qa, qb, flux, scratch [5]float64
-			for _, e := range d.edges[lo:hi] {
-				d.gather(q, e.a, qa[:b])
-				d.gather(q, e.b, qb[:b])
-				NumFlux(d.Sys, qa[:b], qb[:b], e.n, flux[:b], scratch[:b])
-				d.scatterAdd(rr, e.a, flux[:b], +1)
-				d.scatterAdd(rr, e.b, flux[:b], -1)
-			}
-		}(t, lo, hi, rr)
-	}
-	wg.Wait()
+	t := &d.fluxT
+	t.d, t.q, t.r = d, q, r
+	p.Run(t)
+	t.q, t.r = nil, nil
 	// Gather: sum the private arrays (memory-bandwidth-bound, the cost
 	// that can offset the threading benefit).
-	for t := 1; t < active; t++ {
-		pt := d.privRes[t-1]
-		for i := 0; i < n; i++ {
+	gatherPrivate(r[:n], d.privRes[:nw-1])
+	d.boundaryResidual(q, r)
+	// The gather adds one read-modify-write sweep of the shared residual
+	// plus a streaming read of each private copy per extra worker.
+	extra := int64(nw - 1)
+	sp.End(d.SweepFlops()+PrivateGatherFlops(extra, int64(n)),
+		d.SweepBytes()+PrivateGatherBytes(extra, int64(n)))
+	return nil
+}
+
+// fluxTask is the reusable worker-pool task of ResidualParallel: one
+// contiguous edge stripe per worker, fluxes accumulated into the
+// worker's own residual array through a pooled workspace (stack locals
+// passed to System methods would escape inside the sweep).
+type fluxTask struct {
+	d    *Discretization
+	q, r []float64
+}
+
+// RunShard implements par.Task.
+func (t *fluxTask) RunShard(w, nw int) {
+	d := t.d
+	n := d.N()
+	b := d.Sys.B()
+	rr := t.r[:n]
+	if w > 0 {
+		rr = d.privRes[w-1][:n]
+		for i := range rr {
+			rr[i] = 0
+		}
+	}
+	ne := len(d.edges)
+	lo, hi := ne*w/nw, ne*(w+1)/nw
+	ws := d.getWS()
+	qa, qb := ws.qa[:b], ws.qb[:b]
+	flux, scratch := ws.flux[:b], ws.scratch[:b]
+	edges := d.edges[lo:hi] // hoisted: the stripe bound check runs once, not per edge
+	for _, e := range edges {
+		d.gather(t.q, e.a, qa) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		d.gather(t.q, e.b, qb) //lint:bce-ok the gathered row offset is data-dependent through the edge endpoint
+		NumFlux(d.Sys, qa, qb, e.n, flux, scratch)
+		d.scatterAdd(rr, e.a, flux, +1)
+		d.scatterAdd(rr, e.b, flux, -1)
+	}
+	d.putWS(ws)
+}
+
+// gatherPrivate sums the redundant private residual arrays into the
+// shared residual — the bandwidth-bound reduction Table 5 charges
+// against the threading benefit. Each entry is one add over a
+// read-modify-write of r plus a streaming read of the private copy.
+func gatherPrivate(r []float64, priv [][]float64) {
+	for _, pt := range priv {
+		pt = pt[:len(r)] // bce: ties len(pt) to len(r); the range index serves both unchecked
+		for i := range r {
 			r[i] += pt[i]
 		}
 	}
-	d.boundaryResidual(q, r)
-	// The gather adds one read+add sweep over the residual per extra
-	// thread on top of the sweep's own traffic.
-	extra := int64(active - 1)
-	if extra < 0 {
-		extra = 0
-	}
-	sp.End(d.SweepFlops()+extra*int64(n), d.SweepBytes()+extra*int64(16*n))
-	return nil
 }

@@ -2,7 +2,10 @@ package euler
 
 import (
 	"math"
+	"sync"
 	"testing"
+
+	"petscfun3d/internal/par"
 )
 
 func TestResidualParallelMatchesSequential(t *testing.T) {
@@ -13,10 +16,12 @@ func TestResidualParallelMatchesSequential(t *testing.T) {
 		rs := make([]float64, d.N())
 		d.Residual(q, rs)
 		for _, nt := range []int{1, 2, 3, 4, 7} {
+			p := par.New(nt)
 			rp := make([]float64, d.N())
-			if err := d.ResidualParallel(q, rp, nt); err != nil {
+			if err := d.ResidualParallel(q, rp, p); err != nil {
 				t.Fatalf("%s nthreads=%d: %v", sys.Name(), nt, err)
 			}
+			p.Close()
 			for i := range rs {
 				if math.Abs(rs[i]-rp[i]) > 1e-11 {
 					t.Fatalf("%s nthreads=%d: residual differs at %d: %g vs %g",
@@ -27,11 +32,11 @@ func TestResidualParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestResidualParallelSingleThreadExact: with one thread the parallel
-// path sweeps the edges in the sequential order into the caller's
-// buffer, so it must match Residual bit for bit (with more threads the
-// chunk partial sums reassociate the additions, which only exact-sum
-// accumulation could make bitwise identical).
+// TestResidualParallelSingleThreadExact: with one worker (or a nil
+// pool) the parallel path sweeps the edges in the sequential order into
+// the caller's buffer, so it must match Residual bit for bit (with more
+// workers the stripe partial sums reassociate the additions, which only
+// exact-sum accumulation could make bitwise identical).
 func TestResidualParallelSingleThreadExact(t *testing.T) {
 	m := testMesh(t, 9, 7, 6)
 	for _, sys := range systems() {
@@ -39,38 +44,45 @@ func TestResidualParallelSingleThreadExact(t *testing.T) {
 		q := smoothState(d)
 		rs := make([]float64, d.N())
 		d.Residual(q, rs)
-		rp := make([]float64, d.N())
-		if err := d.ResidualParallel(q, rp, 1); err != nil {
-			t.Fatal(err)
-		}
-		for i := range rs {
-			if rs[i] != rp[i] {
-				t.Fatalf("%s: nthreads=1 differs bitwise at %d: %v vs %v", sys.Name(), i, rs[i], rp[i])
+		for _, p := range []*par.Pool{nil, par.New(1)} {
+			rp := make([]float64, d.N())
+			if err := d.ResidualParallel(q, rp, p); err != nil {
+				t.Fatal(err)
+			}
+			p.Close()
+			for i := range rs {
+				if rs[i] != rp[i] {
+					t.Fatalf("%s: one worker differs bitwise at %d: %v vs %v", sys.Name(), i, rs[i], rp[i])
+				}
 			}
 		}
 	}
 }
 
-// TestResidualParallelDeterministic: repeated calls at a fixed thread
+// TestResidualParallelDeterministic: repeated calls at a fixed worker
 // count reuse the discretization's scratch buffers and must reproduce
 // the result bit for bit — the scratch is zeroed, not assumed clean.
 func TestResidualParallelDeterministic(t *testing.T) {
 	m := testMesh(t, 8, 6, 5)
 	d := newDisc(t, m, NewIncompressible(), Options{Order: 1})
 	q := smoothState(d)
+	p4 := par.New(4)
+	defer p4.Close()
 	first := make([]float64, d.N())
-	if err := d.ResidualParallel(q, first, 4); err != nil {
+	if err := d.ResidualParallel(q, first, p4); err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 3; trial++ {
-		// Vary the thread count in between so stale buffers from other
+		// Vary the worker count in between so stale buffers from other
 		// shapes are around, then come back to 4.
+		pv := par.New(2 + trial)
 		tmp := make([]float64, d.N())
-		if err := d.ResidualParallel(q, tmp, 2+trial); err != nil {
+		if err := d.ResidualParallel(q, tmp, pv); err != nil {
 			t.Fatal(err)
 		}
+		pv.Close()
 		r := make([]float64, d.N())
-		if err := d.ResidualParallel(q, r, 4); err != nil {
+		if err := d.ResidualParallel(q, r, p4); err != nil {
 			t.Fatal(err)
 		}
 		for i := range first {
@@ -86,12 +98,76 @@ func TestResidualParallelValidation(t *testing.T) {
 	d2 := newDisc(t, m, NewIncompressible(), Options{Order: 2})
 	q := d2.FreestreamVector()
 	r := make([]float64, d2.N())
-	if err := d2.ResidualParallel(q, r, 2); err == nil {
+	if err := d2.ResidualParallel(q, r, nil); err == nil {
 		t.Error("second-order parallel residual accepted")
 	}
-	d1 := newDisc(t, m, NewIncompressible(), Options{Order: 1})
-	if err := d1.ResidualParallel(q, r, 0); err == nil {
-		t.Error("0 threads accepted")
+}
+
+// TestResidualParallelDistinctDiscretizationsRace: concurrent threaded
+// sweeps on distinct Discretizations (each with its own pool) are
+// allowed and must not race or corrupt each other — the containment the
+// distributed ranks rely on.
+func TestResidualParallelDistinctDiscretizationsRace(t *testing.T) {
+	m := testMesh(t, 7, 5, 4)
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := newDisc(t, m, NewIncompressible(), Options{Order: 1})
+			q := smoothState(d)
+			want := make([]float64, d.N())
+			d.Residual(q, want)
+			p := par.New(1 + g%3)
+			defer p.Close()
+			r := make([]float64, d.N())
+			for rep := 0; rep < 5; rep++ {
+				if err := d.ResidualParallel(q, r, p); err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range r {
+					if math.Abs(want[i]-r[i]) > 1e-11 {
+						t.Errorf("goroutine %d rep %d: differs at %d", g, rep, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestResidualParallelSteadyStateAllocs: once the private arrays and
+// pooled workspaces are warm, repeated threaded sweeps do not allocate.
+func TestResidualParallelSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race mode drops sync.Pool items by design")
+	}
+	m := testMesh(t, 8, 6, 5)
+	d := newDisc(t, m, NewIncompressible(), Options{Order: 1})
+	q := smoothState(d)
+	r := make([]float64, d.N())
+	p := par.New(4)
+	defer p.Close()
+	for i := 0; i < 3; i++ { // warm up private arrays and the workspace pool
+		if err := d.ResidualParallel(q, r, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := d.ResidualParallel(q, r, p); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0.2 {
+		t.Fatalf("ResidualParallel allocates %.2f objects per sweep", avg)
 	}
 }
 
@@ -104,9 +180,11 @@ func benchThreads(b *testing.B, nt int) {
 	d := newDisc(b, m, NewIncompressible(), Options{Order: 1})
 	q := d.FreestreamVector()
 	r := make([]float64, d.N())
+	p := par.New(nt)
+	defer p.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := d.ResidualParallel(q, r, nt); err != nil {
+		if err := d.ResidualParallel(q, r, p); err != nil {
 			b.Fatal(err)
 		}
 	}

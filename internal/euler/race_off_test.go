@@ -1,0 +1,8 @@
+//go:build !race
+
+package euler
+
+// raceDetectorEnabled reports whether the race detector is compiled in.
+// Under -race, sync.Pool deliberately drops items to expose races, so
+// steady-state allocation tests are skipped there.
+const raceDetectorEnabled = false

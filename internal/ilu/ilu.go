@@ -32,6 +32,23 @@ type Factorization struct {
 	// the double path, float32 in the single path).
 	invDiag64 []float64
 	invDiag32 []float32
+
+	// Level-set schedule of the triangular solves (levels.go): block
+	// rows grouped by dependency depth in the L (forward) and U
+	// (backward) DAGs, computed once per factorization from the symbolic
+	// pattern. Level l's rows are fwdRows[fwdPtr[l]:fwdPtr[l+1]]
+	// (ascending within each level); rows of one level depend only on
+	// rows of earlier levels, so a level can run on the worker pool.
+	fwdRows, bwdRows []int32
+	fwdPtr, bwdPtr   []int32
+
+	// Solve scratch, hoisted out of the bandwidth-bound sweeps: seqTmp
+	// is the sequential diagonal-multiply temporary for block sizes the
+	// stack array cannot hold (B > 5); parScratch holds one such
+	// temporary per pool worker.
+	seqTmp     []float64
+	parScratch []float64
+	task       triTask
 }
 
 // Options configures a factorization.
@@ -89,6 +106,7 @@ func Factor(a *sparse.BCSR, opts Options) (*Factorization, error) {
 	if err := f.symbolic(a, opts.Level); err != nil {
 		return nil, err
 	}
+	f.buildLevels()
 	if err := f.numeric(a); err != nil {
 		return nil, err
 	}

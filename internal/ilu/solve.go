@@ -40,7 +40,10 @@ func (f *Factorization) Solve(b, x []float64) {
 	var t [5]float64
 	tmp := t[:n]
 	if n > 5 {
-		tmp = make([]float64, n)
+		if len(f.seqTmp) < n {
+			f.seqTmp = make([]float64, n)
+		}
+		tmp = f.seqTmp[:n] // factorization-owned scratch: no allocation inside the solver's tightest loop for B > 5
 	}
 	for i := f.NB - 1; i >= 0; i-- {
 		xi := x[i*n : i*n+n]
@@ -98,7 +101,10 @@ func (f *Factorization) solve32(b, x []float64) {
 	var t [5]float64
 	tmp := t[:n]
 	if n > 5 {
-		tmp = make([]float64, n)
+		if len(f.seqTmp) < n {
+			f.seqTmp = make([]float64, n)
+		}
+		tmp = f.seqTmp[:n] // factorization-owned scratch: no allocation inside the solver's tightest loop for B > 5
 	}
 	for i := f.NB - 1; i >= 0; i-- {
 		xi := x[i*n : i*n+n]

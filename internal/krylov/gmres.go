@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"math"
 
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
-	"petscfun3d/internal/sparse"
 )
 
 // Operator applies a linear map y = A x.
@@ -61,6 +61,11 @@ type Options struct {
 	// reductions instead of j+1; slightly less stable). The paper lists
 	// the orthogonalization mechanism among the Krylov tunables.
 	Orthogonalization string
+	// Pool is the node-level worker pool for the solver's vector
+	// reductions and updates (dot, norm, axpy). The reductions use a
+	// fixed-shape segmented accumulation, so residual histories are
+	// bitwise identical at every worker count; nil runs sequentially.
+	Pool *par.Pool
 }
 
 // DefaultOptions mirror the paper's customary settings.
@@ -138,7 +143,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	beta := sparse.Norm2(r)
+	beta := par.Norm2(opts.Pool, r)
 	st.InitialNorm = beta
 	st.ResidualNorm = beta
 	target := opts.RelTol * beta
@@ -158,7 +163,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			for i := range r {
 				r[i] = b[i] - r[i]
 			}
-			beta = sparse.Norm2(r)
+			beta = par.Norm2(opts.Pool, r)
 			st.Restarts++
 			if beta <= target {
 				st.ResidualNorm = beta
@@ -185,28 +190,29 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			apply(z, w)
 			st.MatVecs++
 			osp := prof.Begin(prof.PhaseOrtho)
+			prof.NoteThreads(prof.PhaseOrtho, opts.Pool.Workers())
 			switch opts.Orthogonalization {
 			case "", "mgs":
 				// Modified Gram-Schmidt.
 				for i, vi := range v[:j+1] {
-					hij := sparse.Dot(w, vi) //lint:bce-ok inlined kernel prologue length check, once per O(n) sweep
-					h[i][j] = hij            //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+					hij := par.Dot(opts.Pool, w, vi) //lint:bce-ok inlined kernel prologue length check, once per O(n) sweep
+					h[i][j] = hij                    //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
 					st.InnerProds++
-					sparse.Axpy(-hij, vi, w) //lint:bce-ok inlined kernel prologue length check, once per O(n) sweep
+					par.Axpy(opts.Pool, -hij, vi, w)
 				}
 			case "cgs":
 				// Classical Gram-Schmidt: all projections from the
 				// original w (batchable into one reduction), then a
 				// single subtraction pass.
 				for i, vi := range v[:j+1] {
-					h[i][j] = sparse.Dot(w, vi) //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+					h[i][j] = par.Dot(opts.Pool, w, vi) //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
 				}
 				st.InnerProds++ // one batched reduction
 				for i, vi := range v[:j+1] {
-					sparse.Axpy(-h[i][j], vi, w) //lint:bce-ok one O(1) Hessenberg load per O(n) subtraction sweep; the row lengths are not provable
+					par.Axpy(opts.Pool, -h[i][j], vi, w) //lint:bce-ok one O(1) Hessenberg load per O(n) subtraction sweep; the row lengths are not provable
 				}
 			}
-			h[j+1][j] = sparse.Norm2(w)
+			h[j+1][j] = par.Norm2(opts.Pool, w)
 			st.InnerProds++
 			if h[j+1][j] > 1e-300 {
 				inv := 1 / h[j+1][j]
@@ -266,11 +272,11 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			z[i] = 0
 		}
 		for k, vk := range v[:j] { //lint:bce-ok the j extent of the basis is bounded by the restart length, a relation prove cannot see
-			sparse.Axpy(yj[k], vk, z) //lint:bce-ok inlined kernel prologue length check, once per O(n) sweep
+			par.Axpy(opts.Pool, yj[k], vk, z)
 		}
 		m.Apply(z, w)
 		st.PrecondApps++
-		sparse.Axpy(1, w, x)
+		par.Axpy(opts.Pool, 1, w, x)
 		if st.ResidualNorm <= target {
 			st.Converged = true
 			return st, nil

@@ -62,6 +62,16 @@ var knownCallFlops = map[string]int64{
 	"Scale": 1, // multiply per element
 }
 
+// knownCallBytes is the per-element memory traffic of the same calls:
+// Dot/Norm2 stream two vectors (16), Axpy streams two and writes one
+// back (24), Scale is a read-modify-write of one (16).
+var knownCallBytes = map[string]int64{
+	"Dot":   16,
+	"Axpy":  24,
+	"Norm2": 16,
+	"Scale": 16,
+}
+
 // coefCheck is one kernel-vs-formula coefficient verification.
 type coefCheck struct {
 	pkg        string // import path the kernel and formula live in
@@ -106,13 +116,14 @@ var costChecks = []coefCheck{
 		loops: []loopTerm{{0, 1}}, formula: "MulVecRowsFlops",
 		countVar: "nnzBlocks", env: map[string]int64{"b": 5}},
 
-	// dist: the reduce-phase dot is a single fused multiply-add sweep —
-	// 2 flops and 2 float loads (16 bytes) per scalar.
-	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 1,
-		loops: []loopTerm{{0, 1}}, formula: "dotFlops",
+	// dist: the reduce-phase dot delegates its local product to the
+	// shared fixed-shape par.Dot — 2 flops and 2 float loads (16 bytes)
+	// per scalar, charged through the known-call table.
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 0,
+		calls: []callTerm{{"Dot", 0, 1}}, formula: "dotFlops",
 		countVar: "n", env: map[string]int64{}},
-	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 1,
-		loops: []loopTerm{{0, 1}}, formula: "dotBytes",
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 0,
+		calls: []callTerm{{"Dot", 0, 1}}, formula: "dotBytes",
 		countVar: "n", env: map[string]int64{}, bytes: true},
 	// dist GMRES orthogonalization at step j=0: the projection axpy
 	// (loop 4, 2 flops) plus the basis scale (loop 5, 1 flop); the dots
@@ -134,6 +145,25 @@ var costChecks = []coefCheck{
 		loops: []loopTerm{{2, 16}}, formula: "Factorization.SolveFlops",
 		countVar: "NB", env: map[string]int64{"B": 4, "ColIdx": 500}},
 
+	// ilu level-scheduled solve kernels: the same per-block arithmetic
+	// as the sequential Solve, partitioned into the forward and backward
+	// level sweeps. forwardRows' innermost c-loop carries the ColIdx
+	// marginal (2*B*B flops per stored block); backwardRows' second
+	// innermost loop (the diagonal-inverse c-loop) carries the NB
+	// marginal.
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.forwardRows", totalLoops: 1,
+		loops: []loopTerm{{0, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "ColIdx", env: map[string]int64{"B": 4, "NB": 50}},
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.backwardRows", totalLoops: 2,
+		loops: []loopTerm{{1, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "NB", env: map[string]int64{"B": 4, "ColIdx": 500}},
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.forwardRows32", totalLoops: 1,
+		loops: []loopTerm{{0, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "ColIdx", env: map[string]int64{"B": 4, "NB": 50}},
+	{pkg: "petscfun3d/internal/ilu", kernel: "Factorization.backwardRows32", totalLoops: 2,
+		loops: []loopTerm{{1, 16}}, formula: "Factorization.SolveFlops",
+		countVar: "NB", env: map[string]int64{"B": 4, "ColIdx": 500}},
+
 	// krylov orthogonalization at step j=0: one Dot (2) + one Axpy (2)
 	// in the MGS projection, the Norm2 (2, third occurrence — the first
 	// two normalize restart residuals), and the basis-scale loop (1).
@@ -147,6 +177,20 @@ var costChecks = []coefCheck{
 	// loop over shared flux calls; its accounting is tied to the full
 	// sweep by the equivalence check below.
 	{pkg: "petscfun3d/internal/euler", kernel: "Discretization.ResidualEdges", totalLoops: 1},
+	// The pooled flux shard is one zeroing loop plus one edge loop over
+	// the same shared flux calls (structure pin; the sweep's accounting
+	// rides the equivalence check above).
+	{pkg: "petscfun3d/internal/euler", kernel: "fluxTask.RunShard", totalLoops: 2},
+	// The redundant-work-array gather of the threaded sweep: one add
+	// per entry per extra private array (flops), and a read-modify-write
+	// of the shared residual plus a streaming read of the private copy —
+	// 24 bytes, the undercharge the 16-byte model hid.
+	{pkg: "petscfun3d/internal/euler", kernel: "gatherPrivate", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "PrivateGatherFlops",
+		countVar: "n", env: map[string]int64{"extra": 1}},
+	{pkg: "petscfun3d/internal/euler", kernel: "gatherPrivate", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "PrivateGatherBytes",
+		countVar: "n", env: map[string]int64{"extra": 1}, bytes: true},
 
 	// Fixture package exercising the analyzer's positive and negative
 	// paths (internal/lint/testdata/src/costsync).
@@ -218,7 +262,11 @@ func runCoefCheck(pass *Pass, c coefCheck) {
 			pass.Reportf(fd.Pos(), "costsync registry references call %s #%d in %s, not found", ct.name, ct.occurrence, c.kernel)
 			return
 		}
-		kernelCoef += ct.mult * knownCallFlops[ct.name]
+		if c.bytes {
+			kernelCoef += ct.mult * knownCallBytes[ct.name]
+		} else {
+			kernelCoef += ct.mult * knownCallFlops[ct.name]
+		}
 	}
 	const base = 1000
 	env := map[string]int64{}
@@ -364,8 +412,15 @@ func loopWork(info *types.Info, loop ast.Node, bytes bool) int64 {
 				work++
 			}
 		case *ast.AssignStmt:
-			if !bytes && isFloatAssignOp(n.Tok) && len(n.Lhs) == 1 && exprIsFloat(info, n.Lhs[0]) {
-				work++
+			if isFloatAssignOp(n.Tok) && len(n.Lhs) == 1 && exprIsFloat(info, n.Lhs[0]) {
+				if !bytes {
+					work++
+				} else if _, idx := n.Lhs[0].(*ast.IndexExpr); idx {
+					// A compound assignment to an element is a load and
+					// a store; the IndexExpr case counts the load, this
+					// adds the write-back.
+					work += 8
+				}
 			}
 		case *ast.IndexExpr:
 			if bytes && exprIsFloat(info, n) {

@@ -91,6 +91,7 @@ func DefaultConfig() Config {
 			"petscfun3d/internal/ilu",
 			"petscfun3d/internal/krylov",
 			"petscfun3d/internal/mpi",
+			"petscfun3d/internal/par",
 			"petscfun3d/internal/sparse",
 			"petscfun3d/internal/schwarz",
 		},

@@ -194,7 +194,11 @@ func (s *Solver) Solve(q []float64) (*Result, error) {
 		// Matrix-free operator: Jv = (R(q+εv) − R(q))/ε + (V/Δt) v.
 		stepFlux := 0
 		assembled := krylov.OperatorFunc(func(v, y []float64) {
-			jac.MulVec(v, y)
+			// Striped owner-computes product: bitwise identical to the
+			// sequential MulVec at every worker count, so the assembled
+			// path's residual history is thread-count invariant too.
+			prof.NoteThreads(prof.PhaseMatVec, s.Opts.Krylov.Pool.Workers())
+			jac.MulVecPar(s.Opts.Krylov.Pool, v, y)
 		})
 		op := krylov.OperatorFunc(func(v, y []float64) {
 			vn := sparse.Norm2(v)

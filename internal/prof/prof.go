@@ -162,6 +162,9 @@ type counters struct {
 	selfNS int64 // exclusive wall time (children subtracted)
 	flops  int64
 	bytes  int64
+	// threads is the largest worker count a span of this phase reported
+	// via NoteThreads (0 when the phase never ran threaded).
+	threads int64
 }
 
 // frame is one open span on the nesting stack.
@@ -288,6 +291,23 @@ func (s Span) End(flops, bytes int64) {
 	}
 }
 
+// NoteThreads records that phase's kernel ran on n pool workers, so the
+// report can attribute thread counts to the phases the worker pool
+// accelerates. Workers themselves never open spans (the caller's span
+// covers them — see the package comment); the caller notes the worker
+// count alongside its span instead. The per-phase value is the maximum
+// seen, surviving Merge across rank profilers.
+func (p *Profiler) NoteThreads(phase Phase, n int) {
+	if p == nil || !p.enabled.Load() || int(phase) >= len(p.ph) {
+		return
+	}
+	p.mu.Lock()
+	if int64(n) > p.ph[phase].threads {
+		p.ph[phase].threads = int64(n)
+	}
+	p.mu.Unlock()
+}
+
 // Merge adds o's accumulated counters into p (used to combine the
 // per-rank profilers of a distributed run). Open spans in o are ignored.
 func (p *Profiler) Merge(o *Profiler) {
@@ -305,6 +325,9 @@ func (p *Profiler) Merge(o *Profiler) {
 		p.ph[i].selfNS += ph[i].selfNS
 		p.ph[i].flops += ph[i].flops
 		p.ph[i].bytes += ph[i].bytes
+		if ph[i].threads > p.ph[i].threads {
+			p.ph[i].threads = ph[i].threads
+		}
 	}
 	p.rootNS += rootNS
 	p.mu.Unlock()
@@ -331,6 +354,10 @@ type PhaseStat struct {
 	// The paper's roofline check: a value near 1 for tri_solve means
 	// the triangular solve runs at the memory-bandwidth limit.
 	StreamFraction float64 `json:"stream_fraction"`
+	// Threads is the largest worker-pool size this phase's kernel ran on
+	// (0 when the phase never ran threaded) — the node-level parallelism
+	// attribution of the hybrid ranks×threads runs.
+	Threads int64 `json:"threads,omitempty"`
 }
 
 // Report is the stable-schema profile ("petscfun3d-profile/1") written
@@ -373,6 +400,7 @@ func (p *Profiler) Report(streamBps float64) Report {
 			CumulativeSeconds: float64(c.cumNS) / 1e9,
 			Flops:             c.flops,
 			Bytes:             c.bytes,
+			Threads:           c.threads,
 		}
 		if c.selfNS > 0 {
 			sec := float64(c.selfNS) / 1e9
@@ -443,7 +471,8 @@ func WriteBaselineJSON(w io.Writer, rep Report) error {
 		b = append(b, `      "phase": `+strconv.Quote(st.Phase)+`, "category": `+strconv.Quote(st.Category)+
 			`, "calls": `+strconv.FormatInt(st.Calls, 10)+
 			`, "flops": `+strconv.FormatInt(st.Flops, 10)+
-			`, "bytes": `+strconv.FormatInt(st.Bytes, 10)+",\n"...)
+			`, "bytes": `+strconv.FormatInt(st.Bytes, 10)+
+			`, "threads": `+strconv.FormatInt(st.Threads, 10)+",\n"...)
 		b = append(b, `      "seconds": `+jsonNum(roundSig(st.Seconds, 3))+
 			`, "cumulative_seconds": `+jsonNum(roundSig(st.CumulativeSeconds, 3))+
 			`, "mflops": `+jsonNum(roundSig(st.Mflops, 3))+
@@ -463,6 +492,9 @@ func WriteBaselineJSON(w io.Writer, rep Report) error {
 
 // Begin opens a span on the default profiler.
 func Begin(phase Phase) Span { return Default.Begin(phase) }
+
+// NoteThreads records a phase's worker count on the default profiler.
+func NoteThreads(phase Phase, n int) { Default.NoteThreads(phase, n) }
 
 // Enabled reports whether the default profiler records spans.
 func Enabled() bool { return Default.Enabled() }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"petscfun3d/internal/ilu"
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
 	"petscfun3d/internal/sparse"
 )
@@ -22,6 +23,11 @@ type Options struct {
 	// ILU configures the subdomain solver (fill level, storage
 	// precision).
 	ILU ilu.Options
+	// Pool is the node-level worker pool for the level-scheduled
+	// subdomain triangular solves; nil solves sequentially. A non-nil
+	// pool serves one solve at a time, so concurrent ApplySubdomain
+	// calls (the virtual machine's per-rank accounting) require nil.
+	Pool *par.Pool
 }
 
 // Subdomain is the solver state of one part: the owned and extended
@@ -181,7 +187,7 @@ func (p *Preconditioner) ApplySubdomain(s *Subdomain, r, z []float64) {
 	for li, gr := range s.Extended {
 		copy(s.rhs[li*b:li*b+b], r[int(gr)*b:int(gr)*b+b]) //lint:bce-ok restrict gathers through the subdomain row list; both offsets are data-dependent
 	}
-	s.Factor.Solve(s.rhs, s.sol)
+	s.Factor.SolvePar(p.Opts.Pool, s.rhs, s.sol)
 	for _, gr := range s.Owned {
 		li := s.globalToLocal[gr]
 		copy(z[int(gr)*b:int(gr)*b+b], s.sol[int(li)*b:int(li)*b+b]) //lint:bce-ok prolong scatters through the owned row list and local index map; both offsets are data-dependent

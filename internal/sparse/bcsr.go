@@ -19,6 +19,14 @@ type BCSR struct {
 	RowPtr []int32
 	ColIdx []int32
 	Val    []float64
+
+	// Worker-pool state of MulVecPar, cached on the matrix: row-stripe
+	// boundaries balanced by nonzero count (par.Stripes over RowPtr,
+	// recomputed when the worker count changes) and the reusable task.
+	// Like the kernels themselves, concurrent MulVecPar calls on the
+	// same matrix are not allowed.
+	parBounds []int32
+	parTask   bcsrMulTask
 }
 
 // N returns the scalar dimension NB*B.
@@ -72,16 +80,16 @@ func (a *BCSR) MulVec(x, y []float64) {
 	}
 	switch a.B {
 	case 4:
-		a.mulVec4(x, y)
+		a.mulVec4(0, a.NB, x, y)
 	case 5:
-		a.mulVec5(x, y)
+		a.mulVec5(0, a.NB, x, y)
 	default:
-		a.mulVecGeneric(x, y)
+		a.mulVecGeneric(0, a.NB, x, y)
 	}
 }
 
-func (a *BCSR) mulVec4(x, y []float64) {
-	for i := 0; i < a.NB; i++ {
+func (a *BCSR) mulVec4(lo, hi int, x, y []float64) {
+	for i := lo; i < hi; i++ {
 		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3 float64
 		for k := start; k < end; k++ {
@@ -98,8 +106,8 @@ func (a *BCSR) mulVec4(x, y []float64) {
 	}
 }
 
-func (a *BCSR) mulVec5(x, y []float64) {
-	for i := 0; i < a.NB; i++ {
+func (a *BCSR) mulVec5(lo, hi int, x, y []float64) {
+	for i := lo; i < hi; i++ {
 		start, end := int(a.RowPtr[i]), int(a.RowPtr[i+1]) // bce: hoist the row extent; int arithmetic keeps prove in play below
 		var s0, s1, s2, s3, s4 float64
 		for k := start; k < end; k++ {
@@ -217,10 +225,10 @@ func MulVecRowsBytes(nnzBlocks, nRows, b int) int64 {
 	return int64(nnzBlocks)*(bb*8+4+int64(b)*8) + int64(nRows)*int64(b)*8
 }
 
-func (a *BCSR) mulVecGeneric(x, y []float64) {
+func (a *BCSR) mulVecGeneric(lo, hi int, x, y []float64) {
 	b := a.B
 	bb := b * b
-	for i := 0; i < a.NB; i++ {
+	for i := lo; i < hi; i++ {
 		ys := y[i*b : i*b+b]
 		for c := range ys {
 			ys[c] = 0

@@ -19,6 +19,11 @@ type CSR struct {
 	RowPtr []int32
 	ColIdx []int32
 	Val    []float64
+
+	// Worker-pool state of MulVecPar (see BCSR): nonzero-balanced row
+	// stripe boundaries and the reusable task.
+	parBounds []int32
+	parTask   csrMulTask
 }
 
 // NNZ returns the number of stored entries.
@@ -48,7 +53,11 @@ func (a *CSR) MulVec(x, y []float64) {
 		//lint:panic-ok kernel precondition: a dimension mismatch is caller misuse caught before the bandwidth-limited sweep
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: N=%d len(x)=%d len(y)=%d", a.N, len(x), len(y)))
 	}
-	for i := 0; i < a.N; i++ {
+	a.mulVecRange(0, a.N, x, y)
+}
+
+func (a *CSR) mulVecRange(lo, hi int, x, y []float64) {
+	for i := lo; i < hi; i++ {
 		start, end := a.RowPtr[i], a.RowPtr[i+1]
 		vals := a.Val[start:end]
 		cols := a.ColIdx[start:end]

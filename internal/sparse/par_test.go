@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"testing"
+
+	"petscfun3d/internal/par"
+)
+
+// TestBCSRMulVecParBitwiseIdentical: the striped product matches the
+// sequential MulVec bit for bit at every worker count, for every
+// block-size kernel specialization.
+func TestBCSRMulVecParBitwiseIdentical(t *testing.T) {
+	for _, b := range []int{1, 3, 4, 5} {
+		g := bandGraph(60)
+		a := BlockPattern(g, b)
+		a.FillDeterministic(17)
+		n := a.N()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%11) - 5.0
+		}
+		want := make([]float64, n)
+		a.MulVec(x, want)
+		for _, nw := range []int{1, 2, 4, 8} {
+			p := par.New(nw)
+			got := make([]float64, n)
+			for rep := 0; rep < 3; rep++ {
+				a.MulVecPar(p, x, got)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("b=%d nw=%d rep=%d: y[%d]=%x, want %x", b, nw, rep, i, got[i], want[i])
+					}
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestCSRMulVecParBitwiseIdentical mirrors the BCSR test for the scalar
+// format.
+func TestCSRMulVecParBitwiseIdentical(t *testing.T) {
+	g := bandGraph(90)
+	a := ScalarPattern(g, 1, Interlaced)
+	a.FillDeterministic(23)
+	n := a.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / float64(i+2)
+	}
+	want := make([]float64, n)
+	a.MulVec(x, want)
+	for _, nw := range []int{1, 2, 4, 8} {
+		p := par.New(nw)
+		got := make([]float64, n)
+		for rep := 0; rep < 3; rep++ {
+			a.MulVecPar(p, x, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("nw=%d rep=%d: y[%d]=%x, want %x", nw, rep, i, got[i], want[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestMulVecParNilPool: a nil pool runs the sequential kernel.
+func TestMulVecParNilPool(t *testing.T) {
+	a := BlockPattern(bandGraph(30), 4)
+	a.FillDeterministic(3)
+	n := a.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	want := make([]float64, n)
+	got := make([]float64, n)
+	a.MulVec(x, want)
+	a.MulVecPar(nil, x, got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d]=%x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMulVecParSteadyStateAllocs: after the first call sizes the stripe
+// bounds, repeated threaded products do not allocate.
+func TestMulVecParSteadyStateAllocs(t *testing.T) {
+	a := BlockPattern(bandGraph(48), 5)
+	a.FillDeterministic(7)
+	n := a.N()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 9)
+	}
+	p := par.New(4)
+	defer p.Close()
+	a.MulVecPar(p, x, y) // warm up stripe bounds
+	if avg := testing.AllocsPerRun(20, func() { a.MulVecPar(p, x, y) }); avg > 0 {
+		t.Fatalf("MulVecPar allocates %.1f objects per product", avg)
+	}
+}
