@@ -16,8 +16,16 @@ fmt:
 vet:
 	go vet ./...
 
+# Wall-time guard on the static gate: the whole suite runs in a few
+# seconds, so a generous ceiling only trips if an analyzer has gotten
+# pathologically slow (quadratic blowup, runaway fixpoint) — analyzer
+# growth must not quietly bloat the verify gate. Mirrored by
+# TestLintSuiteWallTime in internal/lint.
+LINT_TIMEOUT := 300s
+
 lint:
-	go run ./cmd/fun3dlint ./...
+	timeout $(LINT_TIMEOUT) go run ./cmd/fun3dlint ./... || \
+		{ st=$$?; if [ $$st -eq 124 ]; then echo "fun3dlint exceeded the $(LINT_TIMEOUT) wall-time budget"; fi; exit $$st; }
 
 test:
 	go test ./...

@@ -7,17 +7,20 @@
 // tag registry discipline, overlap-window purity, and the flop-count
 // cross-checker — plus the codegen conformance budget (the compiler's
 // own escape/inline/bounds-check diagnostics held to
-// codegen.budget.json). It is part of `make verify`; any finding fails
-// the build.
+// codegen.budget.json) and the parcheck family guarding the worker-pool
+// runtime's determinism contract (owner-computes writes, fixed-shape
+// reductions, pool lifecycle). It is part of `make verify`; any finding
+// fails the build.
 //
 // Usage:
 //
-//	fun3dlint [-json] [-only analyzer] [-list] [-update-budget] [packages]
+//	fun3dlint [-json] [-only analyzer,...] [-list] [-update-budget] [packages]
 //
 // Packages are module-relative patterns ("./...", "./internal/...", or
-// plain package directories); the default is "./...". With -only, the
+// plain package directories); the default is "./...". With -only (one
+// analyzer or a comma-separated list), the
 // full suite still runs (so pragma hygiene stays whole-suite) but only
-// the named analyzer's findings are reported and counted toward the
+// the named analyzers' findings are reported and counted toward the
 // exit status. -list prints the analyzer registry with the one-line
 // invariants the README table carries. -update-budget re-records the
 // codegen budget's toolchain pin to the running toolchain — an
@@ -35,6 +38,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 
 	"petscfun3d/internal/codegen"
 	"petscfun3d/internal/lint"
@@ -55,12 +59,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fun3dlint: ")
 	asJSON := flag.Bool("json", false, "report findings as a versioned JSON object (for CI)")
-	only := flag.String("only", "", "report only this analyzer's findings")
+	only := flag.String("only", "", "report only these analyzers' findings (comma-separated)")
 	list := flag.Bool("list", false, "print the analyzer registry with its one-line invariants and exit")
 	updateBudget := flag.Bool("update-budget", false, "re-record the codegen budget's toolchain pin to this toolchain and exit")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
-		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [-only analyzer] [-list] [-update-budget] [packages]\n")
+		_, _ = fmt.Fprintf(out, "usage: fun3dlint [-json] [-only analyzer,...] [-list] [-update-budget] [packages]\n")
 		flag.PrintDefaults()
 		_, _ = fmt.Fprintf(out, "\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -75,8 +79,15 @@ func main() {
 		}
 		return
 	}
-	if *only != "" && !knownAnalyzer(*only) {
-		os.Exit(fatal(fmt.Errorf("unknown analyzer %q (see fun3dlint -h for the list)", *only)))
+	keep := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !knownAnalyzer(name) {
+				os.Exit(fatal(fmt.Errorf("unknown analyzer %q (see fun3dlint -h for the list)", name)))
+			}
+			keep[name] = true
+		}
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -97,10 +108,10 @@ func main() {
 	if err != nil {
 		os.Exit(fatal(err))
 	}
-	if *only != "" {
+	if len(keep) > 0 {
 		kept := findings[:0]
 		for _, f := range findings {
-			if f.Analyzer == *only {
+			if keep[f.Analyzer] {
 				kept = append(kept, f)
 			}
 		}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FixedReduce extends detorder's fixed-order reduction discipline into
+// the parallel domain. The pool's determinism contract (identical bits
+// at every worker count) holds only if floating-point accumulation
+// inside a task flows through fixed-shape primitives — par.Dot,
+// par.Norm2, or a Segments-shaped partial buffer whose cut depends on
+// the problem size alone. Two ad-hoc shapes break it:
+//
+//   - a per-worker partial (parts[w] += ...): the partial set has one
+//     entry per worker, so the grouping — and the rounding — changes
+//     with the worker count;
+//   - an accumulator declared outside the shard's worker-dependent
+//     loop: it sums exactly the shard's index range, so its grouping
+//     is again a function of the worker count. Declaring (or
+//     resetting) the accumulator inside the loop over fixed segments
+//     keeps every partial's extent worker-independent — the blessed
+//     dotSegments pattern.
+//
+// Integer accumulation is exact and exempt; accumulation into shared
+// storage is ownwrite's province. Deliberate exceptions (tolerated
+// rounding documented at the call site) carry //lint:reduce-ok <reason>.
+var FixedReduce = &Analyzer{
+	Name:      "fixedreduce",
+	Doc:       "pool-task FP accumulation flows through fixed-shape reduction primitives",
+	Invariant: "Parallel reductions are order-fixed: FP accumulation in pool tasks uses fixed-shape partials (par.Dot/Norm2, Segments buffers), never groupings that change with worker count.",
+	Run:       runFixedReduce,
+}
+
+func runFixedReduce(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, sc := range collectShards(pass) {
+		checkShardReductions(pass, info, sc)
+	}
+}
+
+// loopRange is one loop statement in a shard body, with whether its
+// header depends on the worker index (directly or through owned
+// values) — the loops whose trip extent changes with the worker count.
+type loopRange struct {
+	pos, end token.Pos
+	wdep     bool
+}
+
+func checkShardReductions(pass *Pass, info *types.Info, sc *shardCtx) {
+	var loops []loopRange
+	resets := map[types.Object][]token.Pos{}
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			wdep := false
+			for _, part := range []ast.Node{n.Init, n.Cond, n.Post} {
+				if part == nil {
+					continue
+				}
+				ast.Inspect(part, func(m ast.Node) bool {
+					if e, ok := m.(ast.Expr); ok && mentionsAny(info, e, sc.owned) {
+						wdep = true
+					}
+					return !wdep
+				})
+			}
+			loops = append(loops, loopRange{n.Pos(), n.End(), wdep})
+		case *ast.RangeStmt:
+			loops = append(loops, loopRange{n.Pos(), n.End(), mentionsAny(info, n.X, sc.owned)})
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN {
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							resets[obj] = append(resets[obj], n.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// outermostWdep returns the outermost worker-dependent loop enclosing
+	// pos, or a zero range if none does.
+	outermostWdep := func(pos token.Pos) (loopRange, bool) {
+		best := loopRange{}
+		found := false
+		for _, l := range loops {
+			if !l.wdep || pos < l.pos || pos >= l.end {
+				continue
+			}
+			if !found || l.pos < best.pos {
+				best, found = l, true
+			}
+		}
+		return best, found
+	}
+
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || !isAccumOp(a.Tok) || len(a.Lhs) != 1 {
+			return true
+		}
+		lhs := ast.Unparen(a.Lhs[0])
+		tv, ok := info.Types[lhs]
+		if !ok || !isFloat(tv.Type) {
+			return true
+		}
+		switch t := lhs.(type) {
+		case *ast.IndexExpr:
+			if sc.indexIsWorker(info, t.Index) {
+				pass.ReportSuppressiblef(a.Pos(), "reduce-ok",
+					"per-worker FP partial (index is the worker): one partial per worker regroups the sum when the worker count changes; use par.Dot/par.Norm2 or a fixed Segments-shaped buffer")
+			}
+		case *ast.Ident:
+			obj := info.Uses[t]
+			if obj == nil || sc.sharedRoot(obj) {
+				return true // shared accumulation is ownwrite's finding
+			}
+			l, inWdep := outermostWdep(a.Pos())
+			if !inWdep {
+				return true
+			}
+			if obj.Pos() >= l.pos && obj.Pos() < l.end {
+				return true // declared inside the worker-dependent extent
+			}
+			for _, rp := range resets[obj] {
+				if rp >= l.pos && rp < l.end {
+					return true // reset at the top of the extent: per-iteration partial
+				}
+			}
+			pass.ReportSuppressiblef(a.Pos(), "reduce-ok",
+				"accumulator %s sums a worker-dependent index range: its grouping changes with the worker count; accumulate per fixed segment (declare or reset it inside the loop) or route through par.Dot/par.Norm2", t.Name)
+		}
+		return true
+	})
+}
+
+// isAccumOp reports whether tok is a compound assignment whose FP
+// result depends on grouping.
+func isAccumOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// indexIsWorker reports whether e is the worker index or a constant
+// offset of it (w, w-1, w+1, ...) — the signature of one-partial-per-
+// worker storage.
+func (sc *shardCtx) indexIsWorker(info *types.Info, e ast.Expr) bool {
+	if sc.worker == nil {
+		return false
+	}
+	isW := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == sc.worker
+	}
+	if isW(e) {
+		return true
+	}
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.ADD && b.Op != token.SUB) {
+		return false
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	return (isW(b.X) && isConst(b.Y)) || (isW(b.Y) && isConst(b.X) && b.Op == token.ADD)
+}

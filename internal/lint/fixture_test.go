@@ -81,6 +81,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"overlapregion", false},
 		{"costsync", false},
 		{"codegen", false},
+		{"ownwrite", false},
+		{"fixedreduce", false},
+		{"poollife", false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -28,6 +28,16 @@
 // no heap escapes, no bounds checks surviving in innermost loops, and
 // the small per-edge/per-row helpers must inline.
 //
+// The parcheck family makes the worker-pool runtime's determinism
+// contract (internal/par, Table 5's threading axis) a compile-time
+// guarantee: pool-task writes to shared storage must stay inside the
+// shard's owned index domain (ownwrite), floating-point accumulation in
+// tasks must flow through fixed-shape reduction primitives so the bits
+// cannot depend on the worker count (fixedreduce), and pool lifecycle
+// and scheduling stay structured — no use after Close, no barrier
+// re-entry, no blocking or spawning inside tasks, no stale iteration
+// state in reused tasks (poollife).
+//
 // Findings can be suppressed by a pragma comment on the offending line
 // or the line directly above:
 //
@@ -38,6 +48,9 @@
 //	//lint:overlap-ok <reason>   (overlapregion)
 //	//lint:escape-ok <reason>    (codegen's escape rules)
 //	//lint:bce-ok <reason>       (codegen's bounds-check rule)
+//	//lint:own-ok <reason>       (ownwrite)
+//	//lint:reduce-ok <reason>    (fixedreduce)
+//	//lint:pool-ok <reason>      (poollife)
 //
 // The reason is mandatory, and a pragma that suppresses nothing is
 // itself a finding, so escape hatches cannot rot silently.
@@ -126,6 +139,9 @@ func Analyzers() []*Analyzer {
 		OverlapRegion,
 		CostSync,
 		Codegen,
+		OwnWrite,
+		FixedReduce,
+		PoolLife,
 	}
 }
 
@@ -215,6 +231,9 @@ var knownPragmaKeys = map[string]bool{
 	"overlap-ok": true,
 	"escape-ok":  true,
 	"bce-ok":     true,
+	"own-ok":     true,
+	"reduce-ok":  true,
+	"pool-ok":    true,
 }
 
 func collectPragmas(fset *token.FileSet, files []*ast.File) []*pragma {

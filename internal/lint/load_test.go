@@ -65,12 +65,14 @@ func TestLoaderGenericsAndAtomics(t *testing.T) {
 }
 
 // TestAnalyzerSuite pins the suite roster: the commcheck family joined
-// the original five, and the pragma keys cover every suppressible
+// the original five, then codegen, then the parcheck family over the
+// worker-pool runtime — and the pragma keys cover every suppressible
 // analyzer.
 func TestAnalyzerSuite(t *testing.T) {
 	want := []string{
 		"hotalloc", "profspan", "costconst", "errcheck", "detorder",
 		"reqwait", "tagconst", "overlapregion", "costsync", "codegen",
+		"ownwrite", "fixedreduce", "poollife",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {
@@ -81,7 +83,7 @@ func TestAnalyzerSuite(t *testing.T) {
 			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
 		}
 	}
-	for _, key := range []string{"alloc-ok", "panic-ok", "wait-ok", "tag-ok", "overlap-ok", "escape-ok", "bce-ok"} {
+	for _, key := range []string{"alloc-ok", "panic-ok", "wait-ok", "tag-ok", "overlap-ok", "escape-ok", "bce-ok", "own-ok", "reduce-ok", "pool-ok"} {
 		if !knownPragmaKeys[key] {
 			t.Errorf("pragma key %s not registered", key)
 		}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OwnWrite enforces the owner-computes discipline the pool runtime's
+// determinism argument rests on (the paper's hybrid Table 5 mode, and
+// the shared-write aliasing bugs Lange et al. document for hybrid
+// MPI/OpenMP kernels): inside a pool task, every store to shared
+// storage must land inside the shard's owned index domain. Concretely,
+// in a RunShard body:
+//
+//   - an element write, copy, or pointer store whose target aliases
+//     shared storage (task fields, package variables) is legal only
+//     when some part of the lvalue derives from the worker index — a
+//     stripe bound, a shard-derived subslice, a row from the shard's
+//     row set — or when the write is pinned to one worker by an
+//     equality guard (if w == 0 { ... });
+//   - writes to shared scalars (task fields) race across shards unless
+//     worker-pinned;
+//   - shared maps may not be mutated at all (Go maps tolerate no
+//     concurrent writers, owned keys or not);
+//   - append to a shared slice reallocates shared storage mid-sweep;
+//   - passing a shared slice/map/pointer to a callee without any
+//     shard-derived argument hands the callee no owned range to stay
+//     inside, so the analysis must assume it writes out of stripe.
+//
+// Deliberate exceptions (a helper that only reads its shared argument,
+// storage that is per-worker by construction) carry
+// //lint:own-ok <reason>.
+var OwnWrite = &Analyzer{
+	Name:      "ownwrite",
+	Doc:       "pool-task writes to shared storage stay inside the shard's owned index domain",
+	Invariant: "Threading is owner-computes (Table 5): every pool-task store to shared storage is indexed through the shard's owned range, so worker count moves work, never values.",
+	Run:       runOwnWrite,
+}
+
+func runOwnWrite(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, sc := range collectShards(pass) {
+		checkShardWrites(pass, info, sc)
+	}
+}
+
+func checkShardWrites(pass *Pass, info *types.Info, sc *shardCtx) {
+	// isSharedRef reports whether e is a reference-typed expression
+	// rooted at shared storage.
+	isSharedRef := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || !isRefType(tv.Type) {
+			return false
+		}
+		return sc.sharedRoot(rootIdentObj(info, e))
+	}
+
+	reportWrite := func(lhs ast.Expr, pos token.Pos) {
+		root := rootIdentObj(info, lhs)
+		if !sc.sharedRoot(root) || sc.ownedAt(info, lhs, pos) {
+			return
+		}
+		switch t := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[t.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return // map mutation reported separately, owned or not
+				}
+			}
+			pass.ReportSuppressiblef(pos, "own-ok",
+				"write to shared %s outside the shard's owned index domain; index through the stripe bounds or the shard's row set", root.Name())
+		case *ast.SelectorExpr:
+			pass.ReportSuppressiblef(pos, "own-ok",
+				"write to shared field %s.%s races across shards; pin it to one worker (if w == 0) or move it to the caller", root.Name(), t.Sel.Name)
+		default:
+			pass.ReportSuppressiblef(pos, "own-ok",
+				"write through shared %s outside the shard's owned index domain", root.Name())
+		}
+	}
+
+	// reportMapWrite flags shared-map mutation regardless of ownership:
+	// Go maps tolerate no concurrent writers.
+	reportMapWrite := func(lhs ast.Expr, pos token.Pos) bool {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		tv, ok := info.Types[idx.X]
+		if !ok {
+			return false
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		if root := rootIdentObj(info, idx.X); sc.sharedRoot(root) {
+			pass.ReportSuppressiblef(pos, "own-ok",
+				"mutation of shared map %s inside a pool task; maps tolerate no concurrent writers — precompute on the caller or use per-shard storage", root.Name())
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// An append whose base is shared reallocates storage other
+				// shards hold, whatever slot the result lands in.
+				if len(n.Lhs) == len(n.Rhs) {
+					if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isBuiltinCall(info, call, "append") && len(call.Args) > 0 {
+						if root := rootIdentObj(info, call.Args[0]); sc.sharedRoot(root) {
+							pass.ReportSuppressiblef(n.Pos(), "own-ok",
+								"append to shared slice %s inside a pool task reallocates storage other shards hold; size on the caller before Run", root.Name())
+							continue
+						}
+					}
+				}
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue // a plain rebinding writes the local slot, not shared storage
+				}
+				if reportMapWrite(lhs, n.Pos()) {
+					continue
+				}
+				reportWrite(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			if !reportMapWrite(n.X, n.Pos()) {
+				reportWrite(n.X, n.Pos())
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinCall(info, n, "copy"):
+				if len(n.Args) == 2 {
+					dst := n.Args[0]
+					if root := rootIdentObj(info, dst); sc.sharedRoot(root) && !sc.ownedAt(info, dst, n.Pos()) {
+						pass.ReportSuppressiblef(n.Pos(), "own-ok",
+							"copy into shared %s outside the shard's owned index domain; copy into a shard-derived subslice", root.Name())
+					}
+				}
+			case isBuiltinCall(info, n, "delete"):
+				if len(n.Args) == 2 {
+					if root := rootIdentObj(info, n.Args[0]); sc.sharedRoot(root) {
+						pass.ReportSuppressiblef(n.Pos(), "own-ok",
+							"delete from shared map %s inside a pool task; maps tolerate no concurrent writers", root.Name())
+					}
+				}
+			case isBuiltinCall(info, n, "append"), isBuiltinCall(info, n, "len"),
+				isBuiltinCall(info, n, "cap"), isBuiltinCall(info, n, "make"), isBuiltinCall(info, n, "new"):
+				// handled above or harmless
+			default:
+				checkCallBoundary(pass, info, sc, n, isSharedRef)
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoundary applies the owned-range rule at call sites: a
+// callee that receives shared mutable storage must also receive at
+// least one shard-derived value (a stripe bound, an owned subslice, a
+// row index) — otherwise it has no owned range to confine its writes
+// and the analysis assumes the worst. Builtins and conversions are
+// handled by the caller.
+func checkCallBoundary(pass *Pass, info *types.Info, sc *shardCtx, call *ast.CallExpr, isSharedRef func(ast.Expr) bool) {
+	switch calleeObject(info, call).(type) {
+	case *types.TypeName, *types.Builtin, nil:
+		return // conversion, builtin, or indirect call through an expression
+	}
+	if sc.guarded(call.Pos()) {
+		return
+	}
+	exprs := append([]ast.Expr(nil), call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		if mentionsAny(info, e, sc.owned) {
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if isSharedRef(arg) {
+			root := rootIdentObj(info, arg)
+			pass.ReportSuppressiblef(call.Pos(), "own-ok",
+				"shared %s passed to a callee with no shard-derived argument; the callee has no owned range to confine its writes", root.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const parPath = "petscfun3d/internal/par"
+
+// The parcheck family (ownwrite, fixedreduce, poollife) analyzes the
+// bodies dispatched through the par.Pool worker runtime. A pool task is
+// a method
+//
+//	func (t *T) RunShard(worker, nworkers int)
+//
+// (the par.Task interface); its body runs concurrently on every worker,
+// so the analyzers reason about two flow-insensitive facts per local
+// object:
+//
+//   - owned: the value derives (transitively, through assignments,
+//     range statements, and call results) from the worker-index
+//     parameter — indices and subslices computed from it are the
+//     shard's owned domain;
+//   - shared: the value aliases storage reachable by every shard — the
+//     task receiver's fields, package-level variables, and anything
+//     re-sliced from them. Call results are deliberately not treated
+//     as aliases (helpers like pooled-workspace getters return
+//     per-worker storage the analysis cannot see into).
+//
+// shardCtx carries one RunShard body with both sets computed.
+type shardCtx struct {
+	decl   *ast.FuncDecl
+	body   *ast.BlockStmt
+	worker types.Object // the worker-index parameter
+	recv   types.Object // the task receiver
+	scope  *types.Scope // package scope: package-level vars are shared
+	owned  map[types.Object]bool
+	shared map[types.Object]bool
+	// guards are source ranges under a worker-pinning condition
+	// (if w == 0 { ... }, switch w { case 1: ... }): writes inside have
+	// a unique owner even without an owned index.
+	guards [][2]token.Pos
+}
+
+// collectShards finds every pool-task body in the package: method
+// declarations named RunShard taking exactly two ints and returning
+// nothing. Matching by shape rather than by interface satisfaction
+// keeps fixtures self-contained and catches tasks that are built for
+// the pool but not yet wired to it.
+func collectShards(pass *Pass) []*shardCtx {
+	info := pass.Pkg.Info
+	var out []*shardCtx
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || fd.Name.Name != "RunShard" {
+				continue
+			}
+			if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 {
+				continue
+			}
+			var params []*ast.Ident
+			for _, fld := range fd.Type.Params.List {
+				if b, ok := fld.Type.(*ast.Ident); !ok || b.Name != "int" {
+					params = nil
+					break
+				}
+				params = append(params, fld.Names...)
+			}
+			if len(params) != 2 {
+				continue
+			}
+			sc := &shardCtx{decl: fd, body: fd.Body, scope: pass.Pkg.Types.Scope()}
+			if params[0].Name != "_" {
+				sc.worker = info.Defs[params[0]]
+			}
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				sc.recv = info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			sc.computeSets(info)
+			sc.collectGuards(info)
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// rootIdentObj unwraps parens, indexing, slicing, field selection,
+// dereference, and address-taking down to the identifier that names the
+// storage an lvalue (or alias expression) is rooted at. It deliberately
+// stops at calls: a call result is a fresh value, not an alias the
+// analysis can track.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsAny reports whether e contains an identifier bound to any
+// object in set.
+func mentionsAny(info *types.Info, e ast.Expr, set map[types.Object]bool) bool {
+	if e == nil || len(set) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRefType reports whether t can alias other storage: slices, maps,
+// pointers, and channels. Value copies (ints, floats, structs) sever
+// sharing.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// sharedRoot reports whether obj names storage every shard can reach:
+// the receiver, a package-level variable, or a local the shared set has
+// absorbed.
+func (sc *shardCtx) sharedRoot(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if sc.shared[obj] {
+		return true
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() == sc.scope {
+		return true
+	}
+	return false
+}
+
+// computeSets runs the owned/shared fixpoint over every assignment,
+// declaration, and range binding in the body (nested function literals
+// included — they execute inline within the shard).
+func (sc *shardCtx) computeSets(info *types.Info) {
+	sc.owned = map[types.Object]bool{}
+	sc.shared = map[types.Object]bool{}
+	if sc.worker != nil {
+		sc.owned[sc.worker] = true
+	}
+	if sc.recv != nil {
+		sc.shared[sc.recv] = true
+	}
+	defObj := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	// propagate one binding lhs := rhs; returns true on set growth.
+	bind := func(lhs *ast.Ident, rhs ast.Expr) bool {
+		obj := defObj(lhs)
+		if obj == nil || lhs.Name == "_" {
+			return false
+		}
+		grew := false
+		if !sc.owned[obj] && mentionsAny(info, rhs, sc.owned) {
+			sc.owned[obj] = true
+			grew = true
+		}
+		if !sc.shared[obj] && isRefType(obj.Type()) {
+			if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); !isCall {
+				if root := rootIdentObj(info, rhs); sc.sharedRoot(root) {
+					sc.shared[obj] = true
+					grew = true
+				}
+			}
+		}
+		return grew
+	}
+	for grew := true; grew; {
+		grew = false
+		ast.Inspect(sc.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && bind(id, n.Rhs[i]) {
+							grew = true
+						}
+					}
+				} else if len(n.Rhs) == 1 {
+					// tuple from a call or comma-ok: owned flows, aliases don't.
+					for _, lhs := range n.Lhs {
+						id, ok := ast.Unparen(lhs).(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := defObj(id)
+						if obj != nil && !sc.owned[obj] && mentionsAny(info, n.Rhs[0], sc.owned) {
+							sc.owned[obj] = true
+							grew = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i, id := range vs.Names {
+						if bind(id, vs.Values[i]) {
+							grew = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				xOwned := mentionsAny(info, n.X, sc.owned)
+				xShared := sc.sharedRoot(rootIdentObj(info, n.X))
+				for _, bound := range []ast.Expr{n.Key, n.Value} {
+					id, ok := bound.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := defObj(id)
+					if obj == nil {
+						continue
+					}
+					if xOwned && !sc.owned[obj] {
+						sc.owned[obj] = true
+						grew = true
+					}
+					// Only the value variable of a range can alias, and only
+					// when the elements themselves are references.
+					if bound == n.Value && xShared && isRefType(obj.Type()) && !sc.shared[obj] {
+						sc.shared[obj] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectGuards records the ranges pinned to a single worker by an
+// equality test on the worker parameter.
+func (sc *shardCtx) collectGuards(info *types.Info) {
+	if sc.worker == nil {
+		return
+	}
+	isWorkerIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == sc.worker
+	}
+	var condPins func(e ast.Expr) bool
+	condPins = func(e ast.Expr) bool {
+		switch b := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch b.Op {
+			case token.LAND:
+				return condPins(b.X) || condPins(b.Y)
+			case token.EQL:
+				return isWorkerIdent(b.X) || isWorkerIdent(b.Y)
+			}
+		}
+		return false
+	}
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condPins(n.Cond) {
+				sc.guards = append(sc.guards, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isWorkerIdent(n.Tag) {
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok && cc.List != nil {
+						sc.guards = append(sc.guards, [2]token.Pos{cc.Pos(), cc.End()})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// guarded reports whether pos sits inside a worker-pinned range.
+func (sc *shardCtx) guarded(pos token.Pos) bool {
+	for _, g := range sc.guards {
+		if g[0] <= pos && pos < g[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// ownedAt reports whether the write expressed by e at pos is inside the
+// shard's owned domain: some part of the lvalue derives from the worker
+// index, or the write is pinned to a single worker by a guard.
+func (sc *shardCtx) ownedAt(info *types.Info, e ast.Expr, pos token.Pos) bool {
+	return mentionsAny(info, e, sc.owned) || sc.guarded(pos)
+}

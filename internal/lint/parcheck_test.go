@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// copySparseTo copies internal/sparse's non-test sources into dir,
+// applying edit to each file's contents.
+func copySparseTo(t *testing.T, root, dir string, edit func(string) string) {
+	t.Helper()
+	src := filepath.Join(root, "internal", "sparse")
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(edit(string(data))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeededMutationOwnWrite guards the ownwrite analyzer against
+// silently going blind: it copies the real internal/sparse package,
+// injects an out-of-stripe write into the pool task that the repository
+// sweep certifies clean, and asserts the analyzer reports exactly that
+// mutation. The pristine copy is checked first so a pass cannot come
+// from the analyzer flagging everything.
+func TestSeededMutationOwnWrite(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownwriteOnly := func(fs []Finding) []Finding {
+		var out []Finding
+		for _, f := range fs {
+			if f.Analyzer == "ownwrite" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+
+	pristineDir := t.TempDir()
+	copySparseTo(t, root, pristineDir, func(s string) string { return s })
+	pristine, err := l.LoadDir(pristineDir, "pristine/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := ownwriteOnly(Run(l.Fset, pristine, Config{}, Analyzers())); len(fs) > 0 {
+		t.Fatalf("pristine sparse copy has ownwrite findings (control failed): %v", fs)
+	}
+
+	const shardHeader = "func (t *csrMulTask) RunShard(w, nw int) {"
+	mutantDir := t.TempDir()
+	mutated := false
+	copySparseTo(t, root, mutantDir, func(s string) string {
+		if strings.Contains(s, shardHeader) {
+			mutated = true
+			return strings.Replace(s, shardHeader, shardHeader+"\n\tt.y[0] = 0", 1)
+		}
+		return s
+	})
+	if !mutated {
+		t.Fatalf("mutation site %q not found in internal/sparse; update the seeded-mutation test", shardHeader)
+	}
+	mutant, err := l.LoadDir(mutantDir, "mutant/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := ownwriteOnly(Run(l.Fset, mutant, Config{}, Analyzers()))
+	if len(fs) != 1 {
+		t.Fatalf("seeded out-of-stripe write: got %d ownwrite findings, want 1: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Message, "outside the shard's owned index domain") {
+		t.Errorf("seeded mutation reported as %q; want the out-of-stripe message", fs[0].Message)
+	}
+}
+
+// TestParcheckFixturesFailAlone pins the exit-1 half of the CLI
+// contract for the new family: on each negative fixture, the named
+// analyzer itself produces findings, so `fun3dlint -only <analyzer>`
+// would exit 1 there (the exit-0 half over the repository is
+// TestRepositoryLintsClean).
+func TestParcheckFixturesFailAlone(t *testing.T) {
+	for _, name := range []string{"ownwrite", "fixedreduce", "poollife"} {
+		t.Run(name, func(t *testing.T) {
+			n := 0
+			for _, f := range runFixture(t, name, false) {
+				if f.Analyzer == name {
+					n++
+				}
+			}
+			if n == 0 {
+				t.Fatalf("fixture %s produced no %s findings; fun3dlint -only %s would exit 0 on its negative fixture", name, name, name)
+			}
+		})
+	}
+}
+
+// lintWallBudget is the generous ceiling on one whole-suite source
+// analysis of the repository (codegen's compiler replay excluded — it
+// is budgeted by its own CI job). The suite currently runs in a few
+// seconds; the ceiling exists so analyzer growth cannot quietly bloat
+// the verify gate.
+const lintWallBudget = 120 * time.Second
+
+// TestLintSuiteWallTime is the wall-time guard on the static gate.
+func TestLintSuiteWallTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times a whole-repository analysis; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := RunPatterns(root, []string{"./..."}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > lintWallBudget {
+		t.Fatalf("whole-suite lint took %v, over the %v budget; an analyzer has gotten pathologically slow", d, lintWallBudget)
+	}
+}

@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"petscfun3d/internal/par"
+)
+
+// PoolLife enforces the pool runtime's lifecycle and scheduling
+// discipline statically, mirroring the named panics the runtime raises
+// dynamically (par.PanicRunClosed, par.PanicNestedRun) so the static
+// and dynamic checks agree on the failure:
+//
+//   - no pool use after Close on any fall-through path: Run, SetPool,
+//     and the reduction primitives (par.Dot/Norm2/Axpy) on a closed
+//     pool panic at runtime; the analyzer tracks Close per function
+//     with branch-sensitive dataflow (a Close inside an early-return
+//     error branch does not poison the main path);
+//   - no barrier re-entry from inside a task: Run, Close, or a
+//     reduction primitive called in a RunShard body targets a pool
+//     whose workers are parked in the outer barrier — deadlock, made
+//     loud by the runtime's named panic;
+//   - no scheduling primitives inside a task: goroutine spawns,
+//     channel operations, select, and blocking MPI (Comm sends,
+//     receives, reductions, barriers; Request.Wait; Halo exchanges)
+//     stall every worker at the barrier — communication belongs to the
+//     caller, between Runs;
+//   - no iteration state left in a reused task: assigning a loop's
+//     iteration variables into a task struct that is only Run after
+//     the loop means every iteration but the last is silently dropped.
+//
+// Deliberate exceptions carry //lint:pool-ok <reason>.
+var PoolLife = &Analyzer{
+	Name:      "poollife",
+	Doc:       "pool lifecycle and scheduling discipline: no use after Close, no barrier re-entry, no blocking inside tasks",
+	Invariant: "Pool scheduling is structured: tasks never re-enter the barrier, block, or spawn; pools are never used after Close; reused tasks never carry stale iteration state.",
+	Run:       runPoolLife,
+}
+
+func runPoolLife(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, sc := range collectShards(pass) {
+		checkShardScheduling(pass, info, sc)
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			lw := &lifeWalker{pass: pass, info: info}
+			lw.walkStmts(body.List, map[types.Object]token.Pos{})
+			checkLoopCapture(pass, info, body)
+		})
+	}
+}
+
+// poolFuncs are the package-level par primitives that re-enter Run on
+// their pool argument.
+var poolFuncs = map[string]bool{"Dot": true, "Norm2": true, "Axpy": true}
+
+// isParFunc reports whether call invokes the named package-level
+// function of internal/par.
+func isParFunc(info *types.Info, call *ast.CallExpr, names map[string]bool) (string, bool) {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPath || !names[fn.Name()] {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// blockingMPICall names the blocking communication primitive call
+// invokes, or "" if it is not one.
+func blockingMPICall(info *types.Info, call *ast.CallExpr) string {
+	for _, m := range []string{"Send", "Recv", "AllReduceSum", "AllReduceMax", "Barrier", "AllGather"} {
+		if isMethodOn(info, call, mpiPath, "Comm", m) {
+			return "Comm." + m
+		}
+	}
+	if isMethodOn(info, call, mpiPath, "Request", "Wait") {
+		return "Request.Wait"
+	}
+	for _, m := range []string{"Exchange", "Start", "Finish"} {
+		if isMethodOn(info, call, distPath, "Halo", m) {
+			return "Halo." + m
+		}
+	}
+	return ""
+}
+
+// checkShardScheduling flags scheduling primitives inside a RunShard
+// body: anything that blocks, spawns, or re-enters the barrier.
+func checkShardScheduling(pass *Pass, info *types.Info, sc *shardCtx) {
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+				"goroutine spawned inside a pool task; shard work runs on the pool's own workers — spawn from the caller, between Runs")
+			return false
+		case *ast.SendStmt:
+			pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+				"channel send inside a pool task can block the shard and stall every worker at the barrier")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+					"channel receive inside a pool task can block the shard and stall every worker at the barrier")
+			}
+		case *ast.SelectStmt:
+			pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+				"select inside a pool task can block the shard and stall every worker at the barrier")
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+						"range over a channel inside a pool task can block the shard and stall every worker at the barrier")
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinCall(info, n, "close"):
+				pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+					"channel close inside a pool task; channel lifecycle belongs to the caller, between Runs")
+			case isMethodOn(info, n, parPath, "Pool", "Run"):
+				pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+					"nested Run from inside a pool task: the workers are parked in the outer barrier, so the inner one deadlocks; the runtime panics with %q", par.PanicNestedRun)
+			case isMethodOn(info, n, parPath, "Pool", "Close"):
+				pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+					"Close from inside a pool task; the runtime panics with %q — close from the caller after the barrier", par.PanicCloseDuringRun)
+			default:
+				if name, ok := isParFunc(info, n, poolFuncs); ok {
+					pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+						"par.%s re-enters Run on its pool from inside a task and deadlocks the barrier (the runtime panics with %q); reduce from the caller, between Runs", name, par.PanicNestedRun)
+				} else if m := blockingMPICall(info, n); m != "" {
+					pass.ReportSuppressiblef(n.Pos(), "pool-ok",
+						"blocking %s inside a pool task stalls every worker at the barrier; communicate from the caller, between Runs", m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lifeWalker is the per-function use-after-Close dataflow: a
+// branch-sensitive walk over the statement structure tracking which
+// pool objects a non-deferred Close has retired on the current path.
+// Function literals are analyzed independently (eachFuncBody), so the
+// walker never descends into them.
+type lifeWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// poolUse returns the pool expression a call operates on (Run/Close
+// receiver, reduction-primitive or SetPool first argument), or nil.
+func (lw *lifeWalker) poolUse(call *ast.CallExpr) ast.Expr {
+	switch {
+	case isMethodOn(lw.info, call, parPath, "Pool", "Run"):
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+	case isMethodOn(lw.info, call, distPath, "Matrix", "SetPool"):
+		if len(call.Args) == 1 {
+			return call.Args[0]
+		}
+	default:
+		if _, ok := isParFunc(lw.info, call, poolFuncs); ok && len(call.Args) > 0 {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+// checkUses reports pool uses under n whose root object is retired.
+func (lw *lifeWalker) checkUses(n ast.Node, closed map[types.Object]token.Pos) {
+	if n == nil || len(closed) == 0 {
+		return
+	}
+	shallowInspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if e := lw.poolUse(call); e != nil {
+			if obj := rootIdentObj(lw.info, e); obj != nil {
+				if _, dead := closed[obj]; dead {
+					lw.pass.ReportSuppressiblef(call.Pos(), "pool-ok",
+						"pool %s used after Close on this path; the runtime panics with %q — move the Close after the last use (or defer it)", obj.Name(), par.PanicRunClosed)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closeTarget returns the object whose pool a non-deferred
+// Pool.Close expression statement retires, or nil.
+func (lw *lifeWalker) closeTarget(s ast.Stmt) types.Object {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || !isMethodOn(lw.info, call, parPath, "Pool", "Close") {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return rootIdentObj(lw.info, sel.X)
+	}
+	return nil
+}
+
+// terminatesPath reports whether s unconditionally leaves the current
+// path (return, break/continue/goto, or a panic call).
+func terminatesPath(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyClosed(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// walkStmts walks one statement list, mutating closed in place.
+// Returns true if the list unconditionally leaves the enclosing path.
+func (lw *lifeWalker) walkStmts(stmts []ast.Stmt, closed map[types.Object]token.Pos) bool {
+	for _, s := range stmts {
+		if lw.walkStmt(s, closed) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lw *lifeWalker) walkStmt(s ast.Stmt, closed map[types.Object]token.Pos) bool {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// Deferred Close runs at function exit, after every use.
+		return false
+	case *ast.AssignStmt:
+		lw.checkUses(s, closed)
+		// Rebinding a pool variable revives it (a fresh New, a nil).
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := lw.info.Defs[id]; obj != nil {
+					delete(closed, obj)
+				} else if obj := lw.info.Uses[id]; obj != nil {
+					delete(closed, obj)
+				}
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		lw.checkUses(s, closed)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if obj := lw.info.Defs[id]; obj != nil {
+							delete(closed, obj)
+						}
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		lw.checkUses(s, closed)
+		if obj := lw.closeTarget(s); obj != nil {
+			closed[obj] = s.Pos()
+		}
+		return terminatesPath(s)
+	case *ast.BlockStmt:
+		return lw.walkStmts(s.List, closed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lw.walkStmt(s.Init, closed)
+		}
+		lw.checkUses(s.Cond, closed)
+		thenClosed := copyClosed(closed)
+		thenTerm := lw.walkStmts(s.Body.List, thenClosed)
+		elseClosed := copyClosed(closed)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = lw.walkStmt(s.Else, elseClosed)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceClosed(closed, elseClosed)
+		case elseTerm:
+			replaceClosed(closed, thenClosed)
+		default:
+			// Union: a pool closed on either fall-through arm may be
+			// closed afterwards.
+			replaceClosed(closed, thenClosed)
+			for k, v := range elseClosed {
+				if _, ok := closed[k]; !ok {
+					closed[k] = v
+				}
+			}
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lw.walkStmt(s.Init, closed)
+		}
+		lw.checkUses(s.Cond, closed)
+		lw.walkStmts(s.Body.List, closed)
+		if s.Post != nil {
+			lw.walkStmt(s.Post, closed)
+		}
+		return false
+	case *ast.RangeStmt:
+		lw.checkUses(s.X, closed)
+		lw.walkStmts(s.Body.List, closed)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				lw.walkStmt(sw.Init, closed)
+			}
+			lw.checkUses(sw.Tag, closed)
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, c := range clauses {
+			armClosed := copyClosed(closed)
+			var armTerm bool
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				armTerm = lw.walkStmts(cc.Body, armClosed)
+			case *ast.CommClause:
+				armTerm = lw.walkStmts(cc.Body, armClosed)
+			}
+			if !armTerm {
+				for k, v := range armClosed {
+					if _, ok := closed[k]; !ok {
+						closed[k] = v
+					}
+				}
+			}
+		}
+		return false
+	case *ast.LabeledStmt:
+		return lw.walkStmt(s.Stmt, closed)
+	default:
+		lw.checkUses(s, closed)
+		return terminatesPath(s)
+	}
+}
+
+func replaceClosed(dst, src map[types.Object]token.Pos) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// checkLoopCapture flags iteration state stranded in a reused task: a
+// loop assigns its iteration variables into a task struct's field, the
+// loop body never hands the task to anything, and the task is only Run
+// after the loop — so every iteration but the last is silently dropped.
+func checkLoopCapture(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// Pool.Run call sites in this body, by task-argument root object.
+	type runSite struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var runs []runSite
+	shallowInspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMethodOn(info, call, parPath, "Pool", "Run") && len(call.Args) == 1 {
+			if obj := rootIdentObj(info, call.Args[0]); obj != nil {
+				runs = append(runs, runSite{call.Pos(), obj})
+			}
+		}
+		return true
+	})
+	if len(runs) == 0 {
+		return
+	}
+	shallowInspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		var loopEnd token.Pos
+		iter := map[types.Object]bool{}
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			loopBody, loopEnd = l.Body, l.End()
+			for _, e := range []ast.Expr{l.Key, l.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						iter[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			loopBody, loopEnd = l.Body, l.End()
+			if a, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							iter[obj] = true
+						}
+					}
+				}
+			}
+		default:
+			return true
+		}
+		if len(iter) == 0 {
+			return true
+		}
+		shallowInspect(loopBody, func(m ast.Node) bool {
+			a, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range a.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || i >= len(a.Rhs) || !mentionsAny(info, a.Rhs[i], iter) {
+					continue
+				}
+				tObj := rootIdentObj(info, sel.X)
+				if tObj == nil {
+					continue
+				}
+				// Consumed inside the loop (any call handed the task after
+				// the assignment) → the iteration state is used per-pass.
+				consumed := false
+				tSet := map[types.Object]bool{tObj: true}
+				shallowInspect(loopBody, func(c ast.Node) bool {
+					if call, ok := c.(*ast.CallExpr); ok && call.Pos() > a.Pos() {
+						for _, arg := range call.Args {
+							if mentionsAny(info, arg, tSet) {
+								consumed = true
+							}
+						}
+						if cs, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && mentionsAny(info, cs.X, tSet) {
+							consumed = true
+						}
+					}
+					return !consumed
+				})
+				if consumed {
+					continue
+				}
+				for _, r := range runs {
+					if r.obj == tObj && r.pos >= loopEnd {
+						pass.ReportSuppressiblef(r.pos, "pool-ok",
+							"task %s runs after the loop that assigned %s.%s from iteration state; only the last iteration's value is seen — Run inside the loop or hoist the assignment", tObj.Name(), tObj.Name(), sel.Sel.Name)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

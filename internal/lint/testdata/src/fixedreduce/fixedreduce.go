@@ -1,0 +1,112 @@
+// Package fixedreduce exercises the fixedreduce analyzer: FP
+// accumulation inside a pool task must flow through fixed-shape
+// partials (a Segments-style buffer whose cut depends on the problem
+// size alone), never groupings that change with the worker count.
+package fixedreduce
+
+const segments = 64
+
+// blessed is the dotSegments shape: workers own fixed segments, each
+// segment's accumulator is declared inside the worker-dependent loop,
+// so every partial's extent is worker-independent.
+type blessed struct {
+	x, y  []float64
+	parts []float64
+}
+
+func (t *blessed) RunShard(w, nw int) {
+	n := len(t.x)
+	for s := w; s < segments; s += nw {
+		lo, hi := n*s/segments, n*(s+1)/segments
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += t.x[i] * t.y[i]
+		}
+		t.parts[s] = sum
+	}
+}
+
+// resetPerSegment is the same shape with the accumulator hoisted but
+// reset inside the worker-dependent extent: still a fixed-shape
+// partial per segment.
+type resetPerSegment struct {
+	x     []float64
+	parts []float64
+}
+
+func (t *resetPerSegment) RunShard(w, nw int) {
+	n := len(t.x)
+	var sum float64
+	for s := w; s < segments; s += nw {
+		sum = 0
+		for i := n * s / segments; i < n*(s+1)/segments; i++ {
+			sum += t.x[i]
+		}
+		t.parts[s] = sum
+	}
+}
+
+// perWorkerPartial keeps one partial per worker: the partial set — and
+// the rounding of the final combine — changes shape with the worker
+// count.
+type perWorkerPartial struct {
+	x     []float64
+	parts []float64
+}
+
+func (t *perWorkerPartial) RunShard(w, nw int) {
+	n := len(t.x)
+	for i := n * w / nw; i < n*(w+1)/nw; i++ {
+		t.parts[w] += t.x[i] // want "per-worker FP partial"
+	}
+}
+
+// strideAccum sums a whole worker stripe into one local: the
+// accumulator's extent is the stripe, a function of the worker count.
+type strideAccum struct {
+	x, y  []float64
+	parts []float64
+}
+
+func (t *strideAccum) RunShard(w, nw int) {
+	n := len(t.x)
+	lo, hi := n*w/nw, n*(w+1)/nw
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += t.x[i] * t.y[i] // want "accumulator sum sums a worker-dependent index range"
+	}
+	t.parts[w] = sum
+}
+
+// intCount: integer accumulation is exact at any grouping and exempt.
+type intCount struct {
+	rows  []int32
+	hits  []int
+	level int32
+}
+
+func (t *intCount) RunShard(w, nw int) {
+	n := len(t.rows)
+	cnt := 0
+	for i := n * w / nw; i < n*(w+1)/nw; i++ {
+		if t.rows[i] > t.level {
+			cnt++
+		}
+	}
+	t.hits[w] = cnt
+}
+
+// suppressed: a tolerated-rounding accumulation carries the pragma.
+type suppressed struct {
+	x     []float64
+	parts []float64
+}
+
+func (t *suppressed) RunShard(w, nw int) {
+	n := len(t.x)
+	acc := 0.0
+	for i := n * w / nw; i < n*(w+1)/nw; i++ {
+		acc += t.x[i] //lint:reduce-ok fixture: deliberate stripe accumulation to test suppression
+	}
+	t.parts[w] = acc
+}

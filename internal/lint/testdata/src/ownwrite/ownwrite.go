@@ -1,0 +1,119 @@
+// Package ownwrite exercises the ownwrite analyzer: inside a pool
+// task (a RunShard method), every store to shared storage must be
+// indexed through the shard's owned range. The task types are
+// self-contained — the analyzer matches RunShard by shape.
+package ownwrite
+
+// striped is the sanctioned owner-computes shape: stripe bounds derive
+// from the worker index, so every write lands in the shard's own rows.
+type striped struct {
+	bounds []int32
+	x, y   []float64
+}
+
+func (t *striped) RunShard(w, nw int) {
+	lo, hi := int(t.bounds[w]), int(t.bounds[w+1])
+	for i := lo; i < hi; i++ {
+		t.y[i] = 2 * t.x[i]
+	}
+}
+
+// outOfStripe writes a fixed element of the shared output from every
+// worker.
+type outOfStripe struct {
+	y []float64
+}
+
+func (t *outOfStripe) RunShard(w, nw int) {
+	t.y[0] = 1 // want "write to shared t outside the shard's owned index domain"
+}
+
+// sharedScalar bumps a field every shard can reach.
+type sharedScalar struct {
+	count int
+	done  bool
+}
+
+func (t *sharedScalar) RunShard(w, nw int) {
+	t.count++ // want "write to shared field t.count races across shards"
+	if w == 0 {
+		t.done = true // pinned to one worker: ok
+	}
+}
+
+// sharedMap mutates a map; maps tolerate no concurrent writers, owned
+// keys or not.
+type sharedMap struct {
+	m    map[int]float64
+	keys []int
+}
+
+func (t *sharedMap) RunShard(w, nw int) {
+	t.m[t.keys[w]] = 1 // want "mutation of shared map t inside a pool task"
+	delete(t.m, w)     // want "delete from shared map t inside a pool task"
+}
+
+// appender grows shared storage mid-sweep.
+type appender struct {
+	out []float64
+}
+
+func (t *appender) RunShard(w, nw int) {
+	t.out = append(t.out, float64(w)) // want "append to shared slice t inside a pool task"
+}
+
+// copies: copy must target a shard-derived subslice.
+type copies struct {
+	src, dst []float64
+}
+
+func (t *copies) RunShard(w, nw int) {
+	n := len(t.src)
+	lo, hi := n*w/nw, n*(w+1)/nw
+	copy(t.dst[lo:hi], t.src[lo:hi])
+	copy(t.dst, t.src) // want "copy into shared t outside the shard's owned index domain"
+}
+
+func fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// callee: handing shared storage to a helper without any shard-derived
+// argument gives the callee no owned range to stay inside.
+type callee struct {
+	y []float64
+}
+
+func (t *callee) RunShard(w, nw int) {
+	n := len(t.y)
+	fill(t.y[n*w/nw:n*(w+1)/nw], 1)
+	fill(t.y, 0) // want "shared t passed to a callee with no shard-derived argument"
+	if w == 0 {
+		fill(t.y, 0) // pinned to one worker: ok
+	}
+}
+
+// scratch: a call result is fresh per-worker storage, not an alias of
+// anything shared — writing through it is fine.
+type scratch struct {
+	bounds []int32
+}
+
+func (t *scratch) getBuf() []float64 { return make([]float64, 8) }
+
+func (t *scratch) RunShard(w, nw int) {
+	buf := t.getBuf()
+	buf[0] = float64(w)
+	fill(buf, 1)
+}
+
+// suppressed: a deliberate shared write carries the pragma.
+type suppressed struct {
+	probe []float64
+}
+
+func (t *suppressed) RunShard(w, nw int) {
+	t.probe[0] = 1 //lint:own-ok fixture: deliberate shared probe write to test suppression
+}

@@ -1,0 +1,151 @@
+// Package poollife exercises the poollife analyzer: pool lifecycle
+// (no use after Close), barrier discipline (no Run/Close/reductions
+// from inside a task), scheduling purity (no goroutines, channels, or
+// blocking MPI inside tasks), and reused-task hygiene (no stale
+// iteration state). The want patterns quote the runtime's named panic
+// messages, so the static findings and the dynamic panics agree.
+package poollife
+
+import (
+	"petscfun3d/internal/dist"
+	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/par"
+)
+
+type noop struct{}
+
+func (t *noop) RunShard(w, nw int) {}
+
+// runAfterClose: the straight-line use-after-Close the runtime panics
+// on.
+func runAfterClose(t *noop) {
+	p := par.New(2)
+	p.Run(t)
+	p.Close()
+	p.Run(t) // want "pool p used after Close on this path; the runtime panics with .par: Run on closed Pool."
+}
+
+// dotAfterClose: the reduction primitives re-enter Run, so they are
+// uses too.
+func dotAfterClose(x, y []float64) float64 {
+	p := par.New(2)
+	p.Close()
+	return par.Dot(p, x, y) // want "pool p used after Close on this path"
+}
+
+// setPoolAfterClose: attaching a closed pool to a rank's kernels.
+func setPoolAfterClose(m *dist.Matrix) {
+	p := par.New(2)
+	p.Close()
+	m.SetPool(p) // want "pool p used after Close on this path"
+}
+
+// errorBranchClose: Close on an early-return error path does not
+// poison the fall-through path.
+func errorBranchClose(t *noop, fail bool) {
+	p := par.New(2)
+	if fail {
+		p.Close()
+		return
+	}
+	p.Run(t)
+	p.Close()
+}
+
+// deferredClose: the sanctioned shape — Close runs at exit, after
+// every use.
+func deferredClose(t *noop) {
+	p := par.New(2)
+	defer p.Close()
+	p.Run(t)
+}
+
+// rebound: a fresh pool revives the variable.
+func rebound(t *noop) {
+	p := par.New(2)
+	p.Close()
+	p = par.New(4)
+	p.Run(t)
+	p.Close()
+}
+
+// nested re-enters the barrier from inside a task: the workers are
+// parked in the outer Run, so the inner one can never complete.
+type nested struct {
+	p     *par.Pool
+	inner par.Task
+	x, y  []float64
+}
+
+func (t *nested) RunShard(w, nw int) {
+	t.p.Run(t.inner) // want "nested Run from inside a pool task.*par: nested Run on Pool"
+	// The reduction primitive draws both findings: the barrier re-entry
+	// and the shared vectors handed over without a shard-derived range.
+	_ = par.Dot(t.p, t.x, t.y) // want "par.Dot re-enters Run on its pool from inside a task" // want "shared t passed to a callee with no shard-derived argument"
+	t.p.Close()                // want "Close from inside a pool task.*par: Close during Run"
+}
+
+// scheduler spawns and blocks inside a task.
+type scheduler struct {
+	ch   chan int
+	done chan struct{}
+}
+
+func (t *scheduler) RunShard(w, nw int) {
+	go func() {}() // want "goroutine spawned inside a pool task"
+	t.ch <- w      // want "channel send inside a pool task"
+	<-t.done       // want "channel receive inside a pool task"
+	close(t.ch)    // want "channel close inside a pool task"
+}
+
+// blocking holds MPI communication inside a task; every worker stalls
+// at the barrier while one shard waits on the network.
+type blocking struct {
+	c *mpi.Comm
+}
+
+func (t *blocking) RunShard(w, nw int) {
+	t.c.Barrier()             // want "blocking Comm.Barrier inside a pool task"
+	_ = t.c.AllReduceSum(1.5) // want "blocking Comm.AllReduceSum inside a pool task"
+}
+
+// chunkTask is reused across Run calls; hot paths repoint its fields.
+type chunkTask struct {
+	rows []int32
+}
+
+func (t *chunkTask) RunShard(w, nw int) {}
+
+// staleCapture assigns iteration state into the reused task but only
+// runs it after the loop: every chunk but the last is silently
+// dropped.
+func staleCapture(p *par.Pool, chunks [][]int32) {
+	t := &chunkTask{}
+	for _, c := range chunks {
+		t.rows = c
+	}
+	p.Run(t) // want "only the last iteration's value is seen"
+}
+
+// perChunkRun is the sanctioned reuse shape: the task is handed to the
+// pool inside the loop, so each iteration's state is consumed.
+func perChunkRun(p *par.Pool, chunks [][]int32) {
+	t := &chunkTask{}
+	for _, c := range chunks {
+		t.rows = c
+		p.Run(t)
+	}
+}
+
+// suppressed: a deliberate single-worker barrier re-entry carries the
+// pragma (e.g. a task that runs a nested pool it owns exclusively).
+type suppressed struct {
+	other *par.Pool
+	inner par.Task
+}
+
+func (t *suppressed) RunShard(w, nw int) {
+	if w == 0 {
+		t.other.Run(t.inner) //lint:pool-ok fixture: distinct pool owned by worker 0, to test suppression
+	}
+}

@@ -36,15 +36,29 @@ type Task interface {
 	RunShard(worker, nworkers int)
 }
 
+// Pool misuse panics with one of these named messages, so tests (and
+// the static poollife analyzer, which quotes them in its findings) can
+// assert the exact failure instead of a hang: running a task on a
+// closed pool, re-entering Run from inside a task of the same pool
+// (the nested barrier can never complete — worker goroutines are
+// already parked in the outer Run), and closing a pool with a Run in
+// flight.
+const (
+	PanicRunClosed      = "par: Run on closed Pool"
+	PanicNestedRun      = "par: nested Run on Pool"
+	PanicCloseDuringRun = "par: Close during Run"
+)
+
 // Pool is a persistent set of worker goroutines with a reusable
 // barrier. The zero value is not usable; call New. A nil *Pool is valid
 // everywhere and behaves as one worker running inline.
 type Pool struct {
-	nw     int
-	wake   []chan Task // one buffered channel per worker 1..nw-1
-	wg     sync.WaitGroup
-	panics []any // per-worker recovered panic, re-raised on the caller
-	closed bool
+	nw      int
+	wake    []chan Task // one buffered channel per worker 1..nw-1
+	wg      sync.WaitGroup
+	panics  []any // per-worker recovered panic, re-raised on the caller
+	closed  bool
+	running bool // a Run is in flight; guards nested Run and Close misuse
 
 	// Reusable task values and partial-sum scratch for the reduction
 	// primitives in reduce.go; kept on the pool so the hot path never
@@ -80,10 +94,15 @@ func (p *Pool) Workers() int {
 }
 
 // Close shuts the worker goroutines down. The pool must be idle (no Run
-// in flight). Close is idempotent; closing a nil pool is a no-op.
+// in flight); closing mid-Run panics with PanicCloseDuringRun. Close is
+// idempotent; closing a nil pool is a no-op.
 func (p *Pool) Close() {
 	if p == nil || p.closed {
 		return
+	}
+	if p.running {
+		//lint:panic-ok caller misuse: closing a pool with a Run in flight is a programming error, not a data condition
+		panic(PanicCloseDuringRun)
 	}
 	p.closed = true
 	for _, c := range p.wake {
@@ -97,20 +116,34 @@ func (p *Pool) Close() {
 // index wins) after the barrier, so panic containment that wraps the
 // caller (e.g. the mpi runtime's per-rank recovery) still sees it.
 func (p *Pool) Run(t Task) {
-	if p == nil || p.nw == 1 {
+	if p == nil {
 		t.RunShard(0, 1)
 		return
 	}
 	if p.closed {
 		//lint:panic-ok caller misuse: running a task on a closed pool is a programming error, not a data condition
-		panic("par: Run on closed Pool")
+		panic(PanicRunClosed)
 	}
-	p.wg.Add(p.nw - 1)
-	for _, c := range p.wake {
-		c <- t
+	if p.running {
+		// A task re-entered Run on its own pool: the workers are parked
+		// in the outer barrier, so the inner one can never complete.
+		// Reads of the flag from worker shards are synchronized by the
+		// wake-channel send; the caller's own shard shares its goroutine.
+		//lint:panic-ok caller misuse: a nested barrier deadlocks; fail loudly instead of hanging
+		panic(PanicNestedRun)
 	}
-	p.shard(t, 0)
-	p.wg.Wait()
+	p.running = true
+	if p.nw == 1 {
+		p.shard(t, 0)
+	} else {
+		p.wg.Add(p.nw - 1)
+		for _, c := range p.wake {
+			c <- t
+		}
+		p.shard(t, 0)
+		p.wg.Wait()
+	}
+	p.running = false
 	for w, e := range p.panics {
 		if e != nil {
 			for i := range p.panics {

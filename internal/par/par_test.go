@@ -236,3 +236,101 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+// mustPanicWith runs f and asserts it panics with exactly msg — the
+// named misuse messages are part of the package contract (the poollife
+// static analyzer quotes them), so the assertion is verbatim.
+func mustPanicWith(t *testing.T, msg string, f func()) {
+	t.Helper()
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatalf("no panic; want %q", msg)
+		}
+		if s, ok := e.(string); !ok || s != msg {
+			t.Fatalf("panic %v; want exactly %q", e, msg)
+		}
+	}()
+	f()
+}
+
+// TestRunOnClosedPoolPanics pins the closed-pool misuse message for
+// every pool width, including the no-goroutine single-worker pool.
+func TestRunOnClosedPoolPanics(t *testing.T) {
+	for _, nw := range []int{1, 4} {
+		p := New(nw)
+		p.Close()
+		mustPanicWith(t, PanicRunClosed, func() {
+			p.Run(&countTask{hits: make([]int32, nw)})
+		})
+	}
+}
+
+// nestedTask re-enters Run on its own pool from inside a shard — the
+// barrier deadlock poollife forbids statically. The dynamic check must
+// convert it into the named panic instead of hanging.
+type nestedTask struct {
+	p     *Pool
+	inner countTask
+}
+
+func (t *nestedTask) RunShard(w, nw int) {
+	if w == 0 {
+		t.p.Run(&t.inner)
+	}
+}
+
+func TestNestedRunPanics(t *testing.T) {
+	for _, nw := range []int{1, 4} {
+		p := New(nw)
+		task := &nestedTask{p: p, inner: countTask{hits: make([]int32, nw)}}
+		func() {
+			defer func() {
+				e := recover()
+				if e == nil {
+					t.Fatalf("nw=%d: nested Run did not panic", nw)
+				}
+				// Worker 0 is the caller for nw=1..n, so the nested
+				// panic surfaces either directly or re-wrapped by the
+				// outer barrier; the named message must survive both.
+				if s, ok := e.(string); !ok || !strings.Contains(s, PanicNestedRun) {
+					t.Fatalf("nw=%d: panic %v; want it to carry %q", nw, e, PanicNestedRun)
+				}
+			}()
+			p.Run(task)
+		}()
+		// The pool survives the contained misuse.
+		after := &countTask{hits: make([]int32, nw)}
+		p.Run(after)
+		if got := after.total.Load(); got != int32(nw) {
+			t.Fatalf("nw=%d: pool unusable after nested-Run panic: %d shards ran", nw, got)
+		}
+		p.Close()
+	}
+}
+
+// closeTask closes its own pool from inside a shard.
+type closeTask struct{ p *Pool }
+
+func (t *closeTask) RunShard(w, nw int) {
+	if w == 0 {
+		t.p.Close()
+	}
+}
+
+func TestCloseDuringRunPanics(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	func() {
+		defer func() {
+			e := recover()
+			if e == nil {
+				t.Fatal("Close during Run did not panic")
+			}
+			if s, ok := e.(string); !ok || !strings.Contains(s, PanicCloseDuringRun) {
+				t.Fatalf("panic %v; want it to carry %q", e, PanicCloseDuringRun)
+			}
+		}()
+		p.Run(&closeTask{p: p})
+	}()
+}
