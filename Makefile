@@ -5,7 +5,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './related/*')
 
-.PHONY: verify fmt vet lint test race bench chaos threads
+.PHONY: verify fmt vet lint test race bench chaos threads ortho
 
 verify: fmt vet lint race
 
@@ -56,3 +56,13 @@ threads:
 	go test -race -count=1 -run 'Par|Thread|Bitwise|Level|Determin' ./internal/sparse ./internal/ilu ./internal/euler ./internal/krylov ./internal/dist
 	go run ./cmd/benchtables -experiment threads -size medium | tee BENCH_threads.txt
 	go run ./cmd/benchtables -experiment table5 -size small | tee -a BENCH_threads.txt
+
+# Ortho gate: the fused multi-vector kernel determinism grid — MDot/
+# MAxpy bitwise against the per-vector reference across worker counts,
+# the batched-reduction GMRES suites, and the hybrid soak — under the
+# race detector, followed by the measured mgs/cgs/cgs2 orthogonalization
+# study, teed into the BENCH_ortho.txt record.
+ortho:
+	go test -race -count=1 ./internal/par
+	go test -race -count=1 -run 'MDot|MAxpy|MReduce|Ortho|Reduction|GMRES|Hybrid' ./internal/krylov ./internal/mpi ./internal/dist ./internal/experiments
+	go run ./cmd/benchtables -experiment ortho -size medium | tee BENCH_ortho.txt

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table3measured|chaos|table4|table5|threads|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
+//	benchtables [-size small|medium|large] [-experiment all|table1|table2|table3|table3measured|chaos|table4|table5|threads|ortho|figure1|figure2|figure3|figure4|figure5|missmodel|ablation|spmvbound]
 package main
 
 import (
@@ -127,6 +127,14 @@ func main() {
 			writeCSV("threads", r.WriteCSV)
 			return r.Render(), nil
 		},
+		"ortho": func() (string, error) {
+			r, err := experiments.Ortho(size)
+			if err != nil {
+				return "", err
+			}
+			writeCSV("ortho", r.WriteCSV)
+			return r.Render(), nil
+		},
 		"figure1": func() (string, error) {
 			r, err := experiments.Table3(size)
 			if err != nil {
@@ -191,7 +199,7 @@ func main() {
 	order := []string{
 		"table1", "figure3", "missmodel", "spmvbound", "table2", "table3",
 		"table3measured", "chaos", "figure2", "figure4", "figure5", "table4",
-		"table5", "threads", "ablation",
+		"table5", "threads", "ortho", "ablation",
 	}
 	names := order
 	if *expFlag != "all" {

@@ -43,6 +43,7 @@ func main() {
 	restart := flag.Int("gmres-restart", 20, "GMRES restart dimension")
 	maxIts := flag.Int("gmres-maxits", 40, "GMRES iteration cap per Newton step")
 	ktol := flag.Float64("gmres-rtol", 1e-2, "GMRES relative tolerance")
+	orthog := flag.String("orthogonalization", "mgs", "GMRES Gram-Schmidt variant: mgs|cgs|cgs2 (cgs/cgs2 use the fused one-pass MDot/MAxpy kernels)")
 	fill := flag.Int("ilu-fill", 0, "ILU fill level k")
 	overlap := flag.Int("overlap", 0, "Schwarz subdomain overlap")
 	single := flag.Bool("single-precision-pc", false, "store preconditioner factors in float32")
@@ -73,6 +74,7 @@ func main() {
 	cfg.Newton.Krylov.Restart = *restart
 	cfg.Newton.Krylov.MaxIters = *maxIts
 	cfg.Newton.Krylov.RelTol = *ktol
+	cfg.Newton.Krylov.Orthogonalization = *orthog
 	cfg.FillLevel = *fill
 	cfg.Overlap = *overlap
 	cfg.SinglePrecision = *single

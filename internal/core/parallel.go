@@ -160,7 +160,12 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 		},
 		// One GMRES matvec: ghost update, matrix-free flux evaluation,
 		// the iteration's vector work, and the orthogonalization/norm
-		// reductions (batched into two).
+		// reductions. The synchronization count follows the configured
+		// mechanism — krylov.Stats.Reductions draws the same distinction
+		// in the real solve: per-vector mgs pays one single-word round
+		// per basis vector plus the norm (half the restart length on
+		// average), where the fused cgs/cgs2 paths batch the whole
+		// projection column into ONE multi-word round plus the norm.
 		WrapOperator: func(op krylov.Operator) krylov.Operator {
 			return krylov.OperatorFunc(func(v, y []float64) {
 				op.Apply(v, y)
@@ -168,8 +173,21 @@ func RunParallel(cfg Config) (*ParallelResult, error) {
 				chargeHalo()
 				chargeFlux()
 				chargeVecOps(krylovVecSweeps)
-				mach.AllReduce(1)
-				mach.AllReduce(1)
+				meanCol := cfg.Newton.Krylov.Restart/2 + 1
+				switch cfg.Newton.Krylov.Orthogonalization {
+				case "cgs":
+					mach.AllReduce(meanCol)
+					mach.AllReduce(1)
+				case "cgs2":
+					// The batch carries the pre-projection norm too.
+					mach.AllReduce(meanCol + 1)
+					mach.AllReduce(1)
+				default: // mgs
+					for i := 0; i < meanCol; i++ {
+						mach.AllReduce(1)
+					}
+					mach.AllReduce(1)
+				}
 				mach.SetTag("")
 			})
 		},

@@ -10,6 +10,7 @@ import (
 	"petscfun3d/internal/krylov"
 	"petscfun3d/internal/mesh"
 	"petscfun3d/internal/mpi"
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/partition"
 	"petscfun3d/internal/prof"
 	"petscfun3d/internal/schwarz"
@@ -121,6 +122,104 @@ func TestDistributedDotAndNorm(t *testing.T) {
 		}
 		if math.Abs(dm.Norm2(lx)-math.Sqrt(want)) > 1e-9 {
 			return fmt.Errorf("norm mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedMDotBitwise: the batched global multi-dot must be
+// bitwise identical to the per-vector Dot collective — same fixed-shape
+// local partials, same rank-ordered combine per element — at every
+// worker count, while paying one synchronization round for the batch.
+func TestDistributedMDotBitwise(t *testing.T) {
+	pr := buildTestProblem(t, 6, 5, 4, 2, 4)
+	b := 2
+	const nvec = 5
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		lx := make([]float64, dm.LocalN())
+		vs := make([][]float64, nvec)
+		for li, gr := range dm.Owned {
+			for cpt := 0; cpt < b; cpt++ {
+				lx[li*b+cpt] = math.Sin(float64(int(gr)*b+cpt) * 0.31)
+			}
+		}
+		for k := range vs {
+			vs[k] = make([]float64, dm.LocalN())
+			for li, gr := range dm.Owned {
+				for cpt := 0; cpt < b; cpt++ {
+					vs[k][li*b+cpt] = math.Cos(float64(int(gr)*b+cpt)*0.17 + float64(k))
+				}
+			}
+		}
+		want := make([]float64, nvec)
+		for k := range vs {
+			want[k] = dm.Dot(lx, vs[k])
+		}
+		for _, nw := range []int{1, 2, 4} {
+			p := par.New(nw)
+			dm.SetPool(p)
+			got := make([]float64, nvec)
+			dm.MDot(lx, vs, got)
+			for k := range want {
+				if got[k] != want[k] {
+					p.Close()
+					return fmt.Errorf("rank %d nw=%d: MDot[%d]=%x, want %x", c.Rank(), nw, k, got[k], want[k])
+				}
+			}
+			dm.SetPool(nil)
+			p.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGMRESReductionRounds pins the batched solve's synchronization
+// arithmetic: ONE global reduction round per inner iteration (the fused
+// projection batch, which also carries the norm scalars) plus one
+// residual norm at startup and one per restart — where the per-vector
+// Gram-Schmidt formulation pays j+2 rounds at inner step j.
+func TestGMRESReductionRounds(t *testing.T) {
+	pr := buildTestProblem(t, 8, 7, 5, 4, 6)
+	b := 4
+	err := mpi.Run(6, func(c *mpi.Comm) error {
+		dm, err := NewMatrix(c, pr.a, pr.part.Part)
+		if err != nil {
+			return err
+		}
+		solve, err := dm.BlockJacobi(ilu.Options{Level: 0})
+		if err != nil {
+			return err
+		}
+		lb := make([]float64, dm.LocalN())
+		lx := make([]float64, dm.LocalN())
+		for li, gr := range dm.Owned {
+			copy(lb[li*b:(li+1)*b], pr.rhs[int(gr)*b:(int(gr)+1)*b])
+		}
+		// A small restart forces multiple cycles, exercising the restart
+		// residual rounds too.
+		st, err := GMRES(dm, solve, lb, lx, GMRESOptions{Restart: 4, MaxIters: 60, RelTol: 1e-8})
+		if err != nil {
+			return err
+		}
+		if !st.Converged {
+			return fmt.Errorf("rank %d: not converged (res %g)", c.Rank(), st.ResidualNorm)
+		}
+		if st.Restarts == 0 {
+			return fmt.Errorf("rank %d: expected restarts at Restart=4 (iters=%d)", c.Rank(), st.Iterations)
+		}
+		if want := 1 + st.Restarts + st.Iterations; st.Reductions != want {
+			return fmt.Errorf("rank %d: %d reduction rounds, want %d (1 startup + %d restarts + %d iterations)",
+				c.Rank(), st.Reductions, want, st.Restarts, st.Iterations)
 		}
 		return nil
 	})

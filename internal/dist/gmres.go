@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"petscfun3d/internal/par"
 	"petscfun3d/internal/prof"
 )
 
@@ -14,9 +15,16 @@ type GMRESOptions struct {
 	RelTol   float64
 }
 
-// GMRESStats reports the distributed solve's outcome.
+// GMRESStats reports the distributed solve's outcome. Reductions
+// counts the global synchronization rounds the solve performed (every
+// collective: the batched per-iteration projection reduce and each
+// residual norm) — the quantity the fused orthogonalization minimizes:
+// exactly ONE round per inner iteration, where per-vector Gram-Schmidt
+// pays j+2.
 type GMRESStats struct {
 	Iterations   int
+	Restarts     int
+	Reductions   int
 	Converged    bool
 	ResidualNorm float64
 }
@@ -62,6 +70,22 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 	z := make([]float64, n)
 	w := make([]float64, n)
 	r := make([]float64, n)
+	// Fused-orthogonalization workspace: the batched reduction carries
+	// the whole Hessenberg column, the pre-projection ‖w‖² (w itself
+	// rides the batch as its last vector), and the true squared norm of
+	// the newest basis vector (vnrm below); MAxpy subtracts with the
+	// negated coefficients.
+	hcol := make([]float64, mr+3)
+	hneg := make([]float64, mr+1)
+	vlist := make([][]float64, mr+2)
+	// vnrm[i] is the measured global ‖v_i‖². v_{j+1} is normalized by a
+	// norm DERIVED from the batch (no second synchronization), so its
+	// true norm is 1 only to the derivation's accuracy; the next
+	// iteration measures it in the same batched round and the projection
+	// divides by it. Without this, the normalization error would feed
+	// back through the derived norm at the projection's cancellation
+	// ratio per iteration and grow geometrically.
+	vnrm := make([]float64, mr+1)
 
 	residual := func() (float64, error) {
 		if err := a.MulVec(x, r); err != nil {
@@ -71,6 +95,7 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 		for i := range r {
 			r[i] = bs[i] - r[i]
 		}
+		st.Reductions++
 		return a.Norm2(r), nil
 	}
 	beta, err := residual()
@@ -85,6 +110,7 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 	}
 	for st.Iterations < opts.MaxIters {
 		if st.Iterations > 0 {
+			st.Restarts++
 			if beta, err = residual(); err != nil {
 				return st, err
 			}
@@ -111,15 +137,41 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 				return st, err
 			}
 			osp := a.Prof.Begin(prof.PhaseOrtho)
-			for i := 0; i <= j; i++ {
-				hij := a.Dot(w, v[i])
-				h[i][j] = hij
-				vi := v[i][:len(w)] // bce: ties len(vi) to len(w); the range index serves both unchecked
-				for k := range w {
-					w[k] -= hij * vi[k]
-				}
+			a.Prof.NoteThreads(prof.PhaseOrtho, a.pool.Workers())
+			// One-pass classical Gram-Schmidt with a batched reduction:
+			// every projection coefficient AND the pre-projection ‖w‖²
+			// (w rides the batch as its last vector) arrive from a single
+			// global synchronization round — the per-iteration latency
+			// term collapses from j+2 rounds to 1.
+			vl := vlist[:j+2]
+			copy(vl, v[:j+1])
+			vl[j+1] = w
+			a.orthoReduce(w, vl, v[j], hcol)
+			st.Reductions++
+			ww := hcol[j+1]
+			vnrm[j] = hcol[j+2]
+			// The post-projection norm is derived, not recomputed:
+			// ‖w − Vh‖² = ‖w‖² − Σ hᵢ·(w·vᵢ) because the projections came
+			// from this same w, with hᵢ = (w·vᵢ)/‖vᵢ‖² projecting against
+			// the MEASURED basis norms (the batch carries ‖v_j‖² one step
+			// after its derived normalization). Every rank derives the
+			// same values from the identical reduced batch, so every rank
+			// takes identical branches; the clamp at 0 covers cancellation
+			// at breakdown.
+			t := ww
+			hc := hcol[:j+1]
+			hn := hneg[:len(hc)] // bce: ties len(hn) to len(hc); the range index serves both unchecked
+			for i, di := range hc {
+				hij := di / vnrm[i] //lint:bce-ok O(1) Hessenberg-column arithmetic per O(n) projection sweep; the extents are not provable
+				h[i][j] = hij       //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+				hn[i] = -hij
+				t -= hij * di
 			}
-			h[j+1][j] = a.Norm2(w)
+			par.MAxpy(a.pool, hneg, v[:j+1], w)
+			if t < 0 {
+				t = 0
+			}
+			h[j+1][j] = math.Sqrt(t)
 			if h[j+1][j] > 1e-300 {
 				inv := 1 / h[j+1][j]
 				vj := v[j+1][:len(w)] // bce: ties len(vj) to len(w); the range index serves both unchecked
@@ -131,8 +183,8 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 					v[j+1][k] = 0
 				}
 			}
-			// Local axpy/scale sweeps; the global dot products inside are
-			// the nested reduce phase.
+			// The fused local subtraction and scale sweeps; the batched
+			// projections inside are the nested reduce phase.
 			osp.End(orthoFlops(j, n), orthoBytes(j, n))
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j] //lint:bce-ok O(restart) Givens update down the Hessenberg column; row lengths are not provable and the loop is negligible next to the n-length sweeps
@@ -173,13 +225,9 @@ func GMRES(a *Matrix, pc func(r, z []float64), b, x []float64, opts GMRESOptions
 		for i := range z {
 			z[i] = 0
 		}
-		for k := 0; k < j; k++ {
-			yk := y[k]
-			vk := v[k][:len(z)] // bce: ties len(vk) to len(z); the range index serves both unchecked
-			for i := range z {
-				z[i] += yk * vk[i]
-			}
-		}
+		// z = V y in one fused read-modify-write sweep (bitwise identical
+		// to the per-vector accumulation it replaces).
+		par.MAxpy(a.pool, yj, v[:j], z)
 		pc(z, w)
 		for i := range x {
 			x[i] += w[i]

@@ -117,7 +117,10 @@ func TestHybridThreadsBitwiseIdentical(t *testing.T) {
 // timing faults still reproduces the fault-free sequential residual
 // history bit for bit — the worker pools add intra-rank concurrency on
 // top of the chaos fabric's inter-rank skew, and neither may touch the
-// numerics.
+// numerics. The solve's inner GMRES routes every orthogonalization
+// through the fused MDot/MAxpy kernels and the batched vector
+// AllReduce, so this soak exercises the single-round reduction under
+// stalls, jitter, and reordering at every seed.
 func TestHybridChaosSoakBitwise(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak is a long test")

@@ -55,11 +55,16 @@ type Options struct {
 	// AbsTol is the absolute residual tolerance.
 	AbsTol float64
 	// Orthogonalization selects the Gram-Schmidt variant: "mgs"
-	// (modified, default — j+1 sequential inner products per iteration)
-	// or "cgs" (classical — the same products computed from one batched
-	// pass, which a distributed implementation turns into two global
-	// reductions instead of j+1; slightly less stable). The paper lists
-	// the orthogonalization mechanism among the Krylov tunables.
+	// (modified, default — j+1 sequential inner products per iteration,
+	// 2j+3 pool barriers), "cgs" (classical — all j+1 products from one
+	// fused par.MDot pass over w and all subtractions from one par.MAxpy
+	// sweep: 3 barriers and ~2.5× less memory traffic per iteration;
+	// slightly less stable), or "cgs2" (classical with one selective
+	// DGKS reorthogonalization pass — the pre-projection ‖w‖² rides the
+	// same fused pass, and a second MDot/MAxpy round runs only when the
+	// projection cancelled more than half of w's mass; CGS speed with
+	// MGS-class orthogonality). The paper lists the orthogonalization
+	// mechanism among the Krylov tunables.
 	Orthogonalization string
 	// Pool is the node-level worker pool for the solver's vector
 	// reductions and updates (dot, norm, axpy). The reductions use a
@@ -76,11 +81,18 @@ func DefaultOptions() Options {
 // Stats reports the work performed by a solve, the inputs of the
 // parallel-cost model (each iteration costs one operator apply, one
 // preconditioner apply, and ~m/2 inner products for orthogonalization).
+// InnerProds counts n-length dot products computed; Reductions counts
+// synchronizing reduction rounds (pool barriers here, global reductions
+// in a distributed run) — "mgs" pays one round per product where the
+// fused "cgs"/"cgs2" paths batch a whole column into one, which is
+// exactly the distinction the parallel-cost model's reduction term
+// needs.
 type Stats struct {
 	Iterations   int
 	MatVecs      int
 	PrecondApps  int
 	InnerProds   int
+	Reductions   int
 	Restarts     int
 	Converged    bool
 	InitialNorm  float64
@@ -99,7 +111,7 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 		return Stats{}, fmt.Errorf("krylov: need positive Restart and MaxIters")
 	}
 	switch opts.Orthogonalization {
-	case "", "mgs", "cgs":
+	case "", "mgs", "cgs", "cgs2":
 	default:
 		return Stats{}, fmt.Errorf("krylov: unknown orthogonalization %q", opts.Orthogonalization)
 	}
@@ -136,6 +148,13 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 	y := make([]float64, mr)
 	z := make([]float64, n)
 	w := make([]float64, n)
+	// Fused-orthogonalization workspace: one Hessenberg column of batched
+	// dot results (hcol's extra slot carries the pre-projection ‖w‖² for
+	// cgs2 — w itself rides the fused pass as the last vector of vlist),
+	// and the negated coefficients MAxpy subtracts with.
+	hcol := make([]float64, mr+2)
+	hneg := make([]float64, mr+1)
+	vlist := make([][]float64, mr+2)
 
 	r := make([]float64, n)
 	apply(x, r)
@@ -191,29 +210,79 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 			st.MatVecs++
 			osp := prof.Begin(prof.PhaseOrtho)
 			prof.NoteThreads(prof.PhaseOrtho, opts.Pool.Workers())
+			var wwPre float64
 			switch opts.Orthogonalization {
 			case "", "mgs":
-				// Modified Gram-Schmidt.
+				// Modified Gram-Schmidt: one reduction round per basis
+				// vector, w streamed 2(j+1) times.
 				for i, vi := range v[:j+1] {
 					hij := par.Dot(opts.Pool, w, vi) //lint:bce-ok inlined kernel prologue length check, once per O(n) sweep
 					h[i][j] = hij                    //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
 					st.InnerProds++
+					st.Reductions++
 					par.Axpy(opts.Pool, -hij, vi, w)
 				}
 			case "cgs":
-				// Classical Gram-Schmidt: all projections from the
-				// original w (batchable into one reduction), then a
-				// single subtraction pass.
-				for i, vi := range v[:j+1] {
-					h[i][j] = par.Dot(opts.Pool, w, vi) //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+				// Classical Gram-Schmidt on the fused kernels: all j+1
+				// projections from ONE pass over w (one batched reduction
+				// round), then one fused subtraction sweep. Same dots,
+				// same segmented partials as the per-vector path —
+				// bitwise identical to it — but w streams once per pass.
+				par.MDot(opts.Pool, w, v[:j+1], hcol)
+				st.InnerProds += j + 1
+				st.Reductions++
+				hc := hcol[:j+1]
+				hn := hneg[:len(hc)] // bce: ties len(hn) to len(hc); the range index serves both unchecked
+				for i, hij := range hc {
+					h[i][j] = hij //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+					hn[i] = -hij
 				}
-				st.InnerProds++ // one batched reduction
-				for i, vi := range v[:j+1] {
-					par.Axpy(opts.Pool, -h[i][j], vi, w) //lint:bce-ok one O(1) Hessenberg load per O(n) subtraction sweep; the row lengths are not provable
+				par.MAxpy(opts.Pool, hneg, v[:j+1], w)
+			case "cgs2":
+				// Classical Gram-Schmidt with selective
+				// reorthogonalization: the pre-projection ‖w‖² rides the
+				// same fused pass (w itself is the last vector of the
+				// batch), so the reorthogonalization decision below costs
+				// no extra reduction round.
+				vl := vlist[:j+2]
+				copy(vl, v[:j+1])
+				vl[j+1] = w
+				par.MDot(opts.Pool, w, vl, hcol)
+				st.InnerProds += j + 2
+				st.Reductions++
+				wwPre = hcol[j+1]
+				hc := hcol[:j+1]
+				hn := hneg[:len(hc)] // bce: ties len(hn) to len(hc); the range index serves both unchecked
+				for i, hij := range hc {
+					h[i][j] = hij //lint:bce-ok one O(1) Hessenberg store per O(n) projection sweep; the row lengths are not provable
+					hn[i] = -hij
 				}
+				par.MAxpy(opts.Pool, hneg, v[:j+1], w)
 			}
 			h[j+1][j] = par.Norm2(opts.Pool, w)
 			st.InnerProds++
+			st.Reductions++
+			reorth := false
+			if opts.Orthogonalization == "cgs2" && h[j+1][j]*h[j+1][j] < 0.5*wwPre {
+				// The projection cancelled more than half of w's mass
+				// (‖w_after‖ < ‖w_before‖/√2, the DGKS criterion): one
+				// full second Gram-Schmidt pass against the basis,
+				// corrections folded into the Hessenberg column.
+				reorth = true
+				par.MDot(opts.Pool, w, v[:j+1], hcol)
+				st.InnerProds += j + 1
+				st.Reductions++
+				hc := hcol[:j+1]
+				hn := hneg[:len(hc)] // bce: ties len(hn) to len(hc); the range index serves both unchecked
+				for i, cij := range hc {
+					h[i][j] += cij //lint:bce-ok one O(1) Hessenberg update per O(n) correction sweep; the row lengths are not provable
+					hn[i] = -cij
+				}
+				par.MAxpy(opts.Pool, hneg, v[:j+1], w)
+				h[j+1][j] = par.Norm2(opts.Pool, w)
+				st.InnerProds++
+				st.Reductions++
+			}
 			if h[j+1][j] > 1e-300 {
 				inv := 1 / h[j+1][j]
 				vj := v[j+1][:len(w)] // bce: ties len(vj) to len(w); the range index serves both unchecked
@@ -226,9 +295,10 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 					v[j+1][i] = 0
 				}
 			}
-			// j+1 projections (dot+axpy), the norm, and the basis scale:
-			// all O(n) vector sweeps.
-			osp.End(orthoFlops(j, n), orthoBytes(j, n))
+			// The projections, subtractions, norm(s), and the basis
+			// scale: all O(n) vector sweeps, charged per mechanism.
+			osp.End(orthoFlopsFor(opts.Orthogonalization, j, n, reorth),
+				orthoBytesFor(opts.Orthogonalization, j, n, reorth))
 			// Apply accumulated Givens rotations to the new column.
 			for i := 0; i < j; i++ {
 				t := cs[i]*h[i][j] + sn[i]*h[i+1][j] //lint:bce-ok O(restart) Givens update down the Hessenberg column; row lengths are not provable and the loop is negligible next to the n-length sweeps
@@ -271,9 +341,9 @@ func Solve(a Operator, m Preconditioner, b, x []float64, opts Options) (Stats, e
 		for i := range z {
 			z[i] = 0
 		}
-		for k, vk := range v[:j] { //lint:bce-ok the j extent of the basis is bounded by the restart length, a relation prove cannot see
-			par.Axpy(opts.Pool, yj[k], vk, z)
-		}
+		// z = V y in one fused read-modify-write sweep (bitwise identical
+		// to the per-vector Axpy sequence, one barrier instead of j).
+		par.MAxpy(opts.Pool, yj, v[:j], z)
 		m.Apply(z, w)
 		st.PrecondApps++
 		par.Axpy(opts.Pool, 1, w, x)

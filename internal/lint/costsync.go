@@ -60,16 +60,25 @@ var knownCallFlops = map[string]int64{
 	"Axpy":  2, // multiply + add per element
 	"Norm2": 2, // multiply + add per element
 	"Scale": 1, // multiply per element
+	"MDot":  2, // multiply + add per element PER BATCHED VECTOR — the callTerm mult carries k
+	"MAxpy": 2, // multiply + add per element PER APPLIED VECTOR — the callTerm mult carries k
 }
 
 // knownCallBytes is the per-element memory traffic of the same calls:
 // Dot/Norm2 stream two vectors (16), Axpy streams two and writes one
-// back (24), Scale is a read-modify-write of one (16).
+// back (24), Scale is a read-modify-write of one (16). The fused
+// multi-vector kernels are charged 8 bytes per stream with the stream
+// count in the callTerm mult: MDot moves k+1 streams (the shared vector
+// once plus each basis vector), MAxpy k+2 (each applied vector plus a
+// read-modify-write of the target) — the traffic collapse that makes
+// the fusion worth pinning.
 var knownCallBytes = map[string]int64{
 	"Dot":   16,
 	"Axpy":  24,
 	"Norm2": 16,
 	"Scale": 16,
+	"MDot":  8,
+	"MAxpy": 8,
 }
 
 // coefCheck is one kernel-vs-formula coefficient verification.
@@ -125,13 +134,40 @@ var costChecks = []coefCheck{
 	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.Dot", totalLoops: 0,
 		calls: []callTerm{{"Dot", 0, 1}}, formula: "dotBytes",
 		countVar: "n", env: map[string]int64{}, bytes: true},
-	// dist GMRES orthogonalization at step j=0: the projection axpy
-	// (loop 4, 2 flops) plus the basis scale (loop 5, 1 flop); the dots
-	// inside are charged to the reduce phase by Dot itself, so they do
-	// not appear in orthoFlops.
-	{pkg: "petscfun3d/internal/dist", kernel: "GMRES", totalLoops: 13,
-		loops: []loopTerm{{4, 1}, {5, 1}}, formula: "orthoFlops",
-		countVar: "n", env: map[string]int64{"j": 0}},
+	// dist Matrix.MDot: the batched reduce-phase multi-dot delegates
+	// its local products to the fused par.MDot — 2 flops per element per
+	// batched vector, one shared-vector stream plus one per basis vector
+	// (the callTerm mult carries k and k+1 at the pinned env k=1).
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.MDot", totalLoops: 0,
+		calls: []callTerm{{"MDot", 0, 1}}, formula: "mdotFlops",
+		countVar: "n", env: map[string]int64{"k": 1}},
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.MDot", totalLoops: 0,
+		calls: []callTerm{{"MDot", 0, 2}}, formula: "mdotBytes",
+		countVar: "n", env: map[string]int64{"k": 1}, bytes: true},
+	// dist Matrix.orthoReduce: the fused k-vector batch plus the one
+	// extra basis-norm Dot of a Gram-Schmidt step's single
+	// synchronization round, pinned at k=1.
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.orthoReduce", totalLoops: 0,
+		calls: []callTerm{{"MDot", 0, 1}, {"Dot", 0, 1}}, formula: "orthoReduceFlops",
+		countVar: "n", env: map[string]int64{"k": 1}},
+	{pkg: "petscfun3d/internal/dist", kernel: "Matrix.orthoReduce", totalLoops: 0,
+		calls: []callTerm{{"MDot", 0, 2}, {"Dot", 0, 1}}, formula: "orthoReduceBytes",
+		countVar: "n", env: map[string]int64{"k": 1}, bytes: true},
+	// dist GMRES orthogonalization at step j=0: the fused MAxpy
+	// subtraction sweep (2 flops per element per applied vector, the
+	// callTerm mult carrying j+1) plus the basis scale (loop 5, 1 flop);
+	// the batched projections inside are charged to the reduce phase by
+	// orthoReduce itself, so they do not appear in orthoFlops. The
+	// O(restart) Hessenberg copy loop (loop 4) carries no n-marginal.
+	{pkg: "petscfun3d/internal/dist", kernel: "GMRES", totalLoops: 12,
+		loops: []loopTerm{{5, 1}}, calls: []callTerm{{"MAxpy", 0, 1}},
+		formula: "orthoFlops", countVar: "n", env: map[string]int64{"j": 0}},
+	// The same step's traffic: MAxpy moves j+3 streams of 8 bytes (j+1
+	// applied vectors plus the read-modify-write of w) and the scale
+	// streams 16 — (8(j+1)+32)n in total.
+	{pkg: "petscfun3d/internal/dist", kernel: "GMRES", totalLoops: 12,
+		loops: []loopTerm{{5, 1}}, calls: []callTerm{{"MAxpy", 0, 3}},
+		formula: "orthoBytes", countVar: "n", env: map[string]int64{"j": 0}, bytes: true},
 
 	// ilu: two flops per stored factor scalar. The forward c-loop
 	// (loop 0) runs B*B iterations of 2 flops per stored block — the
@@ -164,14 +200,83 @@ var costChecks = []coefCheck{
 		loops: []loopTerm{{1, 16}}, formula: "Factorization.SolveFlops",
 		countVar: "NB", env: map[string]int64{"B": 4, "ColIdx": 500}},
 
-	// krylov orthogonalization at step j=0: one Dot (2) + one Axpy (2)
-	// in the MGS projection, the Norm2 (2, third occurrence — the first
-	// two normalize restart residuals), and the basis-scale loop (1).
+	// krylov orthogonalization at step j=0, per mechanism. Innermost
+	// loop 10 is the basis-scale sweep (1 flop, 16 bytes per element);
+	// the O(restart) Hessenberg copy loops (7-9) carry no n-marginal.
+	// Norm2's third occurrence is the post-projection norm (the first
+	// two normalize restart residuals); its fourth is the cgs2
+	// reorthogonalization recompute. MDot/MAxpy occurrences 0/1/2 are
+	// the cgs, cgs2, and reorthogonalization passes in order; the
+	// callTerm mult carries the batch width (flops) and stream count
+	// (bytes) at the pinned j=0.
+	//
+	// mgs: one Dot (2) + one Axpy (2) per projection, the Norm2 (2),
+	// and the scale (1).
 	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
-		loops:    []loopTerm{{9, 1}},
+		loops:    []loopTerm{{10, 1}},
 		calls:    []callTerm{{"Dot", 0, 1}, {"Axpy", 0, 1}, {"Norm2", 2, 1}},
 		formula:  "orthoFlops",
 		countVar: "n", env: map[string]int64{"j": 0}},
+	// cgs: one fused MDot pass (2 per vector), one fused MAxpy sweep
+	// (2 per vector), the Norm2, and the scale.
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		loops:    []loopTerm{{10, 1}},
+		calls:    []callTerm{{"MDot", 0, 1}, {"MAxpy", 0, 1}, {"Norm2", 2, 1}},
+		formula:  "orthoFlopsCGS",
+		countVar: "n", env: map[string]int64{"j": 0}},
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		loops:    []loopTerm{{10, 1}},
+		calls:    []callTerm{{"MDot", 0, 2}, {"MAxpy", 0, 3}, {"Norm2", 2, 1}},
+		formula:  "orthoBytesCGS",
+		countVar: "n", env: map[string]int64{"j": 0}, bytes: true},
+	// cgs2: the MDot batch carries w itself as one extra vector (the
+	// pre-projection norm for the reorthogonalization decision).
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		loops:    []loopTerm{{10, 1}},
+		calls:    []callTerm{{"MDot", 1, 2}, {"MAxpy", 1, 1}, {"Norm2", 2, 1}},
+		formula:  "orthoFlopsCGS2",
+		countVar: "n", env: map[string]int64{"j": 0}},
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		loops:    []loopTerm{{10, 1}},
+		calls:    []callTerm{{"MDot", 1, 3}, {"MAxpy", 1, 3}, {"Norm2", 2, 1}},
+		formula:  "orthoBytesCGS2",
+		countVar: "n", env: map[string]int64{"j": 0}, bytes: true},
+	// The selective reorthogonalization pass: a second MDot/MAxpy round
+	// and the norm recompute (no scale — the caller normalizes once).
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		calls:    []callTerm{{"MDot", 2, 1}, {"MAxpy", 2, 1}, {"Norm2", 3, 1}},
+		formula:  "reorthFlops",
+		countVar: "n", env: map[string]int64{"j": 0}},
+	{pkg: "petscfun3d/internal/krylov", kernel: "Solve", totalLoops: 15,
+		calls:    []callTerm{{"MDot", 2, 2}, {"MAxpy", 2, 3}, {"Norm2", 3, 1}},
+		formula:  "reorthBytes",
+		countVar: "n", env: map[string]int64{"j": 0}, bytes: true},
+
+	// par fused multi-vector group-of-4 kernels: MDotFlops/MDotBytes'
+	// per-element marginals at k=4 are exactly mdotSeg4's loop body
+	// (8 flops; 40 bytes — the shared segment plus four basis streams),
+	// and the k=1 remainder kernel mdotSeg1 carries the 2-flop/16-byte
+	// marginal. maxpy4 pins MAxpyFlops/MAxpyBytes at k=4: four fused
+	// compound multiply-adds (8 flops) over four streamed vectors plus
+	// one read-modify-write of the target (48 bytes).
+	{pkg: "petscfun3d/internal/par", kernel: "mdotSeg4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MDotFlops",
+		countVar: "n", env: map[string]int64{"k": 4}},
+	{pkg: "petscfun3d/internal/par", kernel: "mdotSeg4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MDotBytes",
+		countVar: "n", env: map[string]int64{"k": 4}, bytes: true},
+	{pkg: "petscfun3d/internal/par", kernel: "mdotSeg1", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MDotFlops",
+		countVar: "n", env: map[string]int64{"k": 1}},
+	{pkg: "petscfun3d/internal/par", kernel: "mdotSeg1", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MDotBytes",
+		countVar: "n", env: map[string]int64{"k": 1}, bytes: true},
+	{pkg: "petscfun3d/internal/par", kernel: "maxpy4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MAxpyFlops",
+		countVar: "n", env: map[string]int64{"k": 4}},
+	{pkg: "petscfun3d/internal/par", kernel: "maxpy4", totalLoops: 1,
+		loops: []loopTerm{{0, 1}}, formula: "MAxpyBytes",
+		countVar: "n", env: map[string]int64{"k": 4}, bytes: true},
 
 	// euler: structure pin only — the split-sweep kernel is one edge
 	// loop over shared flux calls; its accounting is tied to the full

@@ -46,6 +46,49 @@ func (t *resetPerSegment) RunShard(w, nw int) {
 	}
 }
 
+// mdotBlessed is the fused MDot shape: workers own fixed segments, each
+// vector's segment accumulator is declared inside the worker-dependent
+// segment loop, and the partials land at parts[k*segments+s] — a layout
+// cut by the problem size and vector count alone, never the worker
+// count.
+type mdotBlessed struct {
+	x     []float64
+	vs    [][]float64
+	parts []float64
+}
+
+func (t *mdotBlessed) RunShard(w, nw int) {
+	n := len(t.x)
+	for s := w * segments / nw; s < (w+1)*segments/nw; s++ {
+		lo, hi := n*s/segments, n*(s+1)/segments
+		for k, v := range t.vs {
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += t.x[i] * v[i]
+			}
+			t.parts[k*segments+s] = sum
+		}
+	}
+}
+
+// mdotPerWorker batches the same dots but keeps one running partial per
+// worker: the partial set — and the rounding of the final combine —
+// changes shape with the worker count.
+type mdotPerWorker struct {
+	x     []float64
+	vs    [][]float64
+	parts []float64
+}
+
+func (t *mdotPerWorker) RunShard(w, nw int) {
+	n := len(t.x)
+	for _, v := range t.vs {
+		for i := n * w / nw; i < n*(w+1)/nw; i++ {
+			t.parts[w] += t.x[i] * v[i] // want "per-worker FP partial"
+		}
+	}
+}
+
 // perWorkerPartial keeps one partial per worker: the partial set — and
 // the rounding of the final combine — changes shape with the worker
 // count.

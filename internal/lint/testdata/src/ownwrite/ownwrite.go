@@ -95,6 +95,31 @@ func (t *callee) RunShard(w, nw int) {
 	}
 }
 
+func maxpyStripe(alphas []float64, vs [][]float64, y []float64, lo, hi int) {
+	for k, v := range vs {
+		a := alphas[k]
+		for i := lo; i < hi; i++ {
+			y[i] += a * v[i]
+		}
+	}
+}
+
+// fusedAxpy is the MAxpy shape: one read-modify-write sweep of shared y
+// applying every vector, element-striped through shard-derived bounds.
+// Handing the callee the whole of y with no shard-derived argument
+// gives it no owned range to stay inside.
+type fusedAxpy struct {
+	alphas []float64
+	vs     [][]float64
+	y      []float64
+}
+
+func (t *fusedAxpy) RunShard(w, nw int) {
+	n := len(t.y)
+	maxpyStripe(t.alphas, t.vs, t.y, n*w/nw, n*(w+1)/nw)
+	maxpyStripe(t.alphas, t.vs, t.y, 0, n) // want "shared t passed to a callee with no shard-derived argument"
+}
+
 // scratch: a call result is fresh per-worker storage, not an alias of
 // anything shared — writing through it is fine.
 type scratch struct {

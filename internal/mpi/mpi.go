@@ -175,6 +175,8 @@ type world struct {
 	redGen  int64
 	redVals []float64
 	redRes  [2]float64
+	vecVals [][]float64
+	vecRes  [2][]float64
 	gatVals [][]float64
 	gatRes  [2][][]float64
 }
@@ -259,6 +261,7 @@ func Run(size int, f func(c *Comm) error, opts ...Options) error {
 	w := &world{size: size, faults: o.Faults, stop: make(chan struct{})}
 	w.redCond = sync.NewCond(&w.redMu)
 	w.redVals = make([]float64, size)
+	w.vecVals = make([][]float64, size)
 	w.gatVals = make([][]float64, size)
 	w.inflight = make([]atomic.Int64, size)
 	w.stat = make([]rankOp, size)
@@ -787,6 +790,48 @@ func (c *Comm) AllReduceSum(x float64) float64 {
 		}
 		return s
 	})
+}
+
+// AllReduceSumVec sums x elementwise across all ranks into out
+// (out[i] = Σ over ranks of that rank's x[i]) in ONE synchronizing
+// collective for the whole vector — the batched reduction behind the
+// fused orthogonalization, collapsing a Hessenberg column's worth of
+// global syncs into a single rendezvous. Every rank must pass the same
+// length, and out must hold it. Per element the combine runs in
+// ascending rank order — exactly AllReduceSum's accumulation — so each
+// out[i] is bitwise identical to AllReduceSum(x[i]) called on its own.
+// out may alias x: the deposited slices are read only by the combine,
+// which completes before any rank of the generation returns.
+func (c *Comm) AllReduceSumVec(x, out []float64) {
+	w := c.w
+	w.beforeOp(c.rank)
+	w.setOp(c.rank, rankOp{kind: opReduce})
+	w.rendezvous(
+		func() { w.vecVals[c.rank] = x },
+		func(gen int64) {
+			k := len(x) // SPMD: every rank deposited this length
+			res := w.vecRes[gen&1]
+			if cap(res) < k {
+				// The result slot grows once to the largest vector seen,
+				// then is reused: the steady state allocates nothing.
+				res = make([]float64, k)
+			}
+			res = res[:k]
+			for i := range res {
+				var s float64
+				for _, v := range w.vecVals {
+					s += v[i]
+				}
+				res[i] = s
+			}
+			w.vecRes[gen&1] = res
+			for r := range w.vecVals {
+				w.vecVals[r] = nil
+			}
+		},
+		func(gen int64) { copy(out, w.vecRes[gen&1]) },
+	)
+	w.setOp(c.rank, rankOp{kind: opIdle})
 }
 
 // AllReduceMax returns the maximum of x across all ranks.

@@ -117,6 +117,47 @@ func TestAllReduceSumAndMax(t *testing.T) {
 	}
 }
 
+func TestAllReduceSumVec(t *testing.T) {
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		// Batched vector sums must be bitwise identical to the scalar
+		// collective per element, and repeated mixed-width calls (the
+		// growing Hessenberg column) must not interfere across
+		// generations or with interleaved scalar reductions.
+		for k := 1; k <= 9; k++ {
+			x := make([]float64, k)
+			for i := range x {
+				x[i] = 0.1*float64(c.Rank()+1) + float64(i)*1e-3
+			}
+			want := make([]float64, k)
+			for i := range want {
+				want[i] = c.AllReduceSum(x[i])
+			}
+			out := make([]float64, k)
+			c.AllReduceSumVec(x, out)
+			for i := range want {
+				if out[i] != want[i] {
+					return fmt.Errorf("k=%d out[%d]=%x, want %x", k, i, out[i], want[i])
+				}
+			}
+			// Aliased form: out == x.
+			c.AllReduceSumVec(x, x)
+			for i := range want {
+				if x[i] != want[i] {
+					return fmt.Errorf("aliased k=%d x[%d]=%x, want %x", k, i, x[i], want[i])
+				}
+			}
+			if s := c.AllReduceSum(1); s != n {
+				return fmt.Errorf("interleaved scalar sum %g", s)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAllReduceFloatAccuracy(t *testing.T) {
 	err := Run(4, func(c *Comm) error {
 		x := 0.1 * float64(c.Rank()+1)

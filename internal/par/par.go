@@ -61,11 +61,16 @@ type Pool struct {
 	running bool // a Run is in flight; guards nested Run and Close misuse
 
 	// Reusable task values and partial-sum scratch for the reduction
-	// primitives in reduce.go; kept on the pool so the hot path never
-	// allocates. Their use is serialized by the pool's one-caller rule.
-	dotT     dotTask
-	axpyT    axpyTask
-	dotParts [Segments]float64
+	// primitives in reduce.go and the fused multi-vector kernels in
+	// mreduce.go; kept on the pool so the hot path never allocates
+	// (mdotParts grows once to the largest basis seen, then is reused).
+	// Their use is serialized by the pool's one-caller rule.
+	dotT      dotTask
+	axpyT     axpyTask
+	mdotT     mdotTask
+	maxpyT    maxpyTask
+	dotParts  [Segments]float64
+	mdotParts []float64
 }
 
 // New creates a pool of n workers (n < 1 is treated as 1). The calling
